@@ -1,0 +1,95 @@
+"""ABL-BAL — load-balancing ablation (paper Section IV.A.3).
+
+"Without this balancing step, some workers would sit idle while others
+would be working for extended periods of time due to the variance in the
+number of collocated persons at different locations."
+
+On real per-place collocation matrices we compare three assignments of
+matrices to workers:
+
+* **naive order**: contiguous chunks in place-id order (what you get
+  without the balancing step);
+* **round-robin** over the same order;
+* **LPT by nnz** (the paper's balancing step).
+
+Reported: max/mean worker load (1.0 = perfect) and the simulated makespan
+ratio, plus a benchmark of the balancing step itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core.balance import BalanceReport, balance_by_nnz, lpt_partition
+from repro.core.colloc import build_collocation_matrices
+from repro.core.slicing import slice_records
+
+from conftest import write_report
+
+N_WORKERS = 8
+
+
+def loads_for(buckets, weights):
+    return np.array(
+        [sum(weights[i] for i in bucket) for bucket in buckets], dtype=np.int64
+    )
+
+
+def test_abl_balance_strategies(benchmark, bench_pop, bench_week):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sliced = slice_records(bench_week.records, 0, repro.HOURS_PER_WEEK)
+    matrices = build_collocation_matrices(sliced, 0, repro.HOURS_PER_WEEK)
+    weights = np.array([m.nnz for m in matrices], dtype=np.int64)
+
+    # naive: contiguous chunks in incoming order
+    chunks = np.array_split(np.arange(len(matrices)), N_WORKERS)
+    naive_loads = loads_for([c.tolist() for c in chunks], weights)
+    # round-robin
+    rr = [list(range(w, len(matrices), N_WORKERS)) for w in range(N_WORKERS)]
+    rr_loads = loads_for(rr, weights)
+    # LPT (the paper's step)
+    _, lpt_report = balance_by_nnz(matrices, N_WORKERS)
+
+    def imb(loads):
+        return loads.max() / loads.mean()
+
+    lines = [
+        "ABL-BAL: worker load imbalance (max/mean; 1.0 = perfect)",
+        f"  places (matrices)    : {len(matrices):,}",
+        f"  nnz range            : {weights.min()} .. {weights.max():,}",
+        f"  naive contiguous     : {imb(naive_loads):.3f}",
+        f"  round-robin          : {imb(rr_loads):.3f}",
+        f"  LPT by nnz (paper)   : {lpt_report.imbalance:.3f}",
+        "  makespan ratio naive/LPT: "
+        f"{naive_loads.max() / lpt_report.max_load:.2f}x",
+        "  paper: balancing 'crucial'; unbalanced workers sit idle.",
+    ]
+    write_report("abl_balance", "\n".join(lines))
+
+    # LPT must beat both baselines and be near-perfect on real data
+    assert lpt_report.imbalance <= imb(rr_loads)
+    assert lpt_report.imbalance < imb(naive_loads)
+    assert lpt_report.imbalance < 1.05
+    # naive contiguous on place-id-ordered data is visibly unbalanced
+    assert imb(naive_loads) > 1.2
+
+
+def test_abl_balance_lpt_cost(benchmark, bench_pop, bench_week):
+    """The balancing step itself is cheap (seconds at paper scale)."""
+    sliced = slice_records(bench_week.records, 0, repro.HOURS_PER_WEEK)
+    matrices = build_collocation_matrices(sliced, 0, repro.HOURS_PER_WEEK)
+    weights = [m.nnz for m in matrices]
+    buckets, report = benchmark(lpt_partition, weights, N_WORKERS)
+    assert report.imbalance < 1.05
+
+
+def test_abl_balance_skew_is_real(benchmark, bench_pop, bench_week):
+    """The premise: place sizes vary over orders of magnitude ('from a
+    single individual to tens of thousands')."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sliced = slice_records(bench_week.records, 0, repro.HOURS_PER_WEEK)
+    matrices = build_collocation_matrices(sliced, 0, repro.HOURS_PER_WEEK)
+    weights = np.array([m.nnz for m in matrices])
+    assert weights.max() > 100 * weights.min()
+    assert weights.max() > 10 * np.median(weights)

@@ -1,0 +1,123 @@
+"""ABL-GEN — random generators vs the emergent collocation network.
+
+Paper conclusions: "Various methods exist for generating random scale-free
+networks that may be superficially similar in structure to those displayed
+by the chiSIM model ... Random synthetic networks could be a starting
+point ... but would need to be tailored to capture the more complex
+structure in the vertex degree distribution graphs presented in this
+paper."
+
+We make that claim quantitative.  For each generator family referenced by
+the paper — Watts–Strogatz [4], Barabási–Albert [19], Dangalchev [24] —
+plus a degree-matched configuration model, we generate a graph of the same
+size and edge budget and compare against the emergent network on the three
+Section V statistics:
+
+* degree-distribution shape (RMS log distance between the two P(k)s);
+* mean local clustering (Figure 4's quantity);
+* head flatness (Figure 3's degree-1..7 plateau).
+
+Expected outcome (asserted): the configuration model matches degrees by
+construction but misses clustering; BA misses the flat head; WS misses the
+heavy tail; none matches all three — which is the paper's point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import degree_distribution, local_clustering
+from repro.analysis.clustering import mean_clustering
+from repro.netgen import (
+    barabasi_albert,
+    configuration_model,
+    dangalchev,
+    watts_strogatz,
+)
+
+from conftest import write_report
+
+
+def distribution_distance(d_a, d_b):
+    """RMS distance between two degree distributions in log10 P(k), over
+    the union support (missing degrees imputed at one count)."""
+    ks = np.union1d(d_a.degrees, d_b.degrees).astype(np.int64)
+
+    def logp(dist):
+        p = np.full(len(ks), 1.0)  # one-count floor
+        idx = np.searchsorted(ks, dist.degrees)
+        p[idx] = dist.counts
+        return np.log10(p / p.sum())
+
+    return float(np.sqrt(np.mean((logp(d_a) - logp(d_b)) ** 2)))
+
+
+def make_generators(net, rng):
+    n = net.n_persons
+    m_edges = net.n_edges
+    mean_k = max(2, int(round(2 * m_edges / n)))
+    ws_k = mean_k if mean_k % 2 == 0 else mean_k + 1
+    ba_m = max(1, int(round(m_edges / n)))
+    return {
+        "watts_strogatz": lambda: watts_strogatz(n, min(ws_k, n - 2), 0.1, rng),
+        "barabasi_albert": lambda: barabasi_albert(n, ba_m, rng),
+        "dangalchev": lambda: dangalchev(min(n, 1500), ba_m, 1.0, rng),
+        "config_model": lambda: configuration_model(net.degrees(), rng),
+    }
+
+
+def test_abl_netgen_comparison(benchmark, bench_net):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rng = np.random.default_rng(1)
+    real_dist = degree_distribution(bench_net.degrees())
+    real_cc = mean_clustering(local_clustering(bench_net), bench_net.degrees())
+    real_flat = real_dist.flatness(1, 7)
+
+    rows = []
+    metrics = {}
+    for name, make in make_generators(bench_net, rng).items():
+        g = make()
+        d = degree_distribution(g.degrees())
+        cc = mean_clustering(local_clustering(g), g.degrees())
+        dist = distribution_distance(real_dist, d)
+        flat = d.flatness(1, 7)
+        metrics[name] = {"cc": cc, "dist": dist, "flat": flat}
+        rows.append(
+            f"  {name:>16}: deg-dist-rms={dist:5.2f}  meanC={cc:.3f}  "
+            f"head-flatness={flat if np.isfinite(flat) else float('inf'):.2f}"
+        )
+    lines = [
+        "ABL-GEN: random generators vs the emergent collocation network",
+        f"  {'emergent':>16}: deg-dist-rms= 0.00  meanC={real_cc:.3f}  "
+        f"head-flatness={real_flat:.2f}",
+        *rows,
+        "  paper: synthetic nets are 'superficially similar' but miss the",
+        "  complex degree structure; tailoring (config model) fixes degrees",
+        "  but still misses clustering.",
+    ]
+    write_report("abl_netgen", "\n".join(lines))
+
+    cm = metrics["config_model"]
+    ba = metrics["barabasi_albert"]
+    ws = metrics["watts_strogatz"]
+    # config model nails the degree distribution ...
+    assert cm["dist"] < ba["dist"]
+    assert cm["dist"] < ws["dist"]
+    # ... but cannot reproduce the clustering
+    assert real_cc > 2 * cm["cc"]
+    # BA cannot produce the flat low-degree head (its P(k) falls steeply
+    # from k=m; flatness over 1..7 is inf or huge)
+    assert not np.isfinite(ba["flat"]) or ba["flat"] > 3 * real_flat
+    # every family misses at least one of the two structure axes
+    for name, m in metrics.items():
+        assert (m["dist"] > 0.3) or (real_cc > 2 * m["cc"]), name
+
+
+def test_abl_netgen_generation_cost(benchmark, bench_net):
+    """Cost of the strongest baseline (degree-matched config model)."""
+    rng = np.random.default_rng(3)
+    degrees = bench_net.degrees()
+    net = benchmark.pedantic(
+        configuration_model, args=(degrees, rng), rounds=3, iterations=1
+    )
+    assert net.n_edges > 0

@@ -1,0 +1,96 @@
+"""TXT-CACHE — the write-cache size tradeoff.
+
+Paper Section III: "A smaller cache will reduce memory usage but will
+result in more individual write operations, which can be computationally
+expensive.  In contrast, a larger cache will require more memory but will
+provide a speed tradeoff as fewer write operations are required."
+
+The sweep measures, per cache size: flush count (exactly records/cache),
+cache memory, and wall time; the benchmark times the paper's nominal
+10,000-record cache.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro._util import human_bytes
+from repro.evlog import CachedLogWriter
+
+from conftest import write_report
+
+CACHE_SIZES = (100, 1_000, 10_000, 100_000)
+
+
+def test_txt_cache_sweep(benchmark, bench_week, tmp_path):
+    records = bench_week.records
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    times = {}
+    for cache in CACHE_SIZES:
+        path = tmp_path / f"cache_{cache}.evl"
+        t0 = time.perf_counter()
+        with CachedLogWriter(path, cache_records=cache) as w:
+            w.log_batch(records)
+            stats = w.stats
+        elapsed = time.perf_counter() - t0
+        times[cache] = elapsed
+        rows.append(
+            f"  {cache:>8,} {stats.flushes:>8} "
+            f"{human_bytes(stats.cache_bytes):>12} {elapsed * 1e3:>9.1f} ms"
+        )
+    report = "\n".join(
+        [
+            "TXT-CACHE: cache size vs flush count vs memory vs time",
+            f"  ({len(records):,} records; paper nominal cache = 10,000)",
+            f"  {'cache':>8} {'flushes':>8} {'memory':>12} {'time':>12}",
+            *rows,
+        ]
+    )
+    write_report("txt_cache_tradeoff", report)
+
+    # flush count is exactly ceil-ish records/cache: memory-IO tradeoff
+    with CachedLogWriter(tmp_path / "a.evl", cache_records=100) as w:
+        w.log_batch(records)
+        small_flushes = w.stats.flushes
+    with CachedLogWriter(tmp_path / "b.evl", cache_records=100_000) as w:
+        w.log_batch(records)
+        big_flushes = w.stats.flushes
+    assert small_flushes > 50 * big_flushes
+
+
+def test_txt_cache_nominal_throughput(benchmark, bench_week, tmp_path):
+    """Write throughput at the paper's nominal 10k-record cache."""
+    records = bench_week.records
+
+    def write(counter=[0]):
+        counter[0] += 1
+        with CachedLogWriter(
+            tmp_path / f"n{counter[0]}.evl", cache_records=10_000
+        ) as w:
+            w.log_batch(records)
+            stats = w.stats
+        return stats  # read flushes after close (final partial flush)
+
+    stats = benchmark.pedantic(write, rounds=3, iterations=1)
+    assert stats.flushes == -(-len(records) // 10_000)
+
+
+def test_txt_cache_tiny_cache_slower(benchmark, bench_week, tmp_path):
+    """Wall-clock check of the tradeoff's expensive end (100 vs 100k)."""
+    records = bench_week.records
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def timed(cache, tag):
+        t0 = time.perf_counter()
+        with CachedLogWriter(
+            tmp_path / f"{tag}.evl", cache_records=cache
+        ) as w:
+            w.log_batch(records)
+        return time.perf_counter() - t0
+
+    t_small = min(timed(100, f"s{i}") for i in range(3))
+    t_big = min(timed(100_000, f"b{i}") for i in range(3))
+    # small cache does ~1000x the write calls; it must not be faster
+    assert t_small >= t_big * 0.8

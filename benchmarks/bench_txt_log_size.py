@@ -1,0 +1,141 @@
+"""TXT-LOG / ABL-FMT — event-log sizing and format ablation.
+
+Paper Section III sizing claims:
+
+* each entry is 20 bytes (five uint32 fields);
+* ~5 activity changes/person/day → ≈2 GB/week at 2.9 M persons;
+* event-based binary logs are much smaller than string logs;
+* per-rank files shrink proportionally to the rank count (30 MB/week/rank
+  at 64 ranks).
+
+This bench measures write throughput of the EVL writer vs the text
+strawman, validates the byte arithmetic at bench scale, and projects to
+the paper's scale from the measured events/person/day.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro._util import human_bytes
+from repro.evlog import CachedLogWriter, LogSet, TextLogWriter, write_rank_logs
+from repro.evlog.schema import RECORD_BYTES
+from repro.evlog.textlog import text_log_size
+from repro.synthpop.schedule import ACTIVITY_NAMES
+
+from conftest import BENCH_PERSONS, write_report
+
+NAMES = {int(k): v for k, v in ACTIVITY_NAMES.items()}
+
+
+def test_txt_log_event_volume_and_projection(benchmark, bench_pop, bench_week, tmp_path):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    records = bench_week.records
+    rate = bench_week.events_per_person_day(bench_pop.n_persons)
+    week_bytes = len(records) * RECORD_BYTES
+
+    # paper-scale projection from measured rate
+    paper_week = 2_900_000 * rate * 7 * RECORD_BYTES
+    paper_year = paper_week * 52
+
+    # per-rank sizes at the paper's 64-rank example
+    per_rank_week = paper_week / 64
+
+    text_bytes = text_log_size(records, NAMES)
+
+    lines = [
+        "TXT-LOG: event-log sizing",
+        f"  bench persons            : {BENCH_PERSONS:,}",
+        f"  events/person/day        : {rate:.2f}   (paper sizing: ~5)",
+        f"  record size              : {RECORD_BYTES} B (paper: 20 B)",
+        f"  one week, bench scale    : {human_bytes(week_bytes)}",
+        f"  text strawman, same week : {human_bytes(text_bytes)} "
+        f"({text_bytes / week_bytes:.1f}x larger)",
+        "  --- projection to 2.9 M persons from measured rate ---",
+        f"  one week                 : {human_bytes(paper_week)} (paper: ~2 GB)",
+        f"  one year                 : {human_bytes(paper_year)} "
+        f"(paper: 100-200 GB combined output)",
+        f"  per-rank week, 64 ranks  : {human_bytes(per_rank_week)} "
+        f"(paper: ~30 MB)",
+    ]
+    write_report("txt_log_size", "\n".join(lines))
+
+    assert RECORD_BYTES == 20
+    assert 2.0 < rate < 7.0
+    # binary beats text by a wide margin
+    assert text_bytes > 3 * week_bytes
+    # projection lands in the paper's order of magnitude (0.5-5 GB/week)
+    assert 0.5e9 < paper_week < 5e9
+
+
+def test_txt_log_per_rank_files_shrink(benchmark, bench_week, tmp_path):
+    """64 files of ~1/64 size each: partitioned logging divides the IO."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n_ranks in (4, 16):
+        parts = np.array_split(bench_week.records, n_ranks)
+        d = tmp_path / f"r{n_ranks}"
+        write_rank_logs(d, parts)
+        logs = LogSet(d)
+        sizes = [p.stat().st_size for p in logs.paths]
+        total = sum(sizes)
+        assert len(logs) == n_ranks
+        # each file is ~total/n_ranks
+        assert max(sizes) < 2 * total / n_ranks
+
+
+def test_txt_log_evl_write_throughput(benchmark, bench_week, tmp_path):
+    records = bench_week.records
+
+    def write(counter=[0]):
+        counter[0] += 1
+        path = tmp_path / f"w{counter[0]}.evl"
+        with CachedLogWriter(path, cache_records=10_000) as w:
+            w.log_batch(records)
+        return path.stat().st_size
+
+    size = benchmark.pedantic(write, rounds=3, iterations=1)
+    assert size >= len(records) * RECORD_BYTES
+
+
+def test_abl_fmt_text_write_throughput(benchmark, bench_week, tmp_path):
+    """ABL-FMT: the strawman's write cost (compare with the EVL bench)."""
+    records = bench_week.records[:20_000]
+
+    def write(counter=[0]):
+        counter[0] += 1
+        path = tmp_path / f"t{counter[0]}.csv"
+        with TextLogWriter(path, NAMES) as t:
+            t.log_batch(records)
+        return t.bytes_written
+
+    nbytes = benchmark.pedantic(write, rounds=3, iterations=1)
+    assert nbytes > len(records) * RECORD_BYTES
+
+
+def test_abl_fmt_compression_tradeoff(benchmark, bench_week, tmp_path):
+    """zlib chunks: smaller files, slower writes — quantified."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    import time
+
+    records = bench_week.records
+    results = {}
+    for compress in (False, True):
+        path = tmp_path / f"c{compress}.evl"
+        t0 = time.perf_counter()
+        with CachedLogWriter(path, cache_records=10_000, compress=compress) as w:
+            w.log_batch(records)
+        results[compress] = (
+            path.stat().st_size,
+            time.perf_counter() - t0,
+        )
+    raw_size, raw_time = results[False]
+    z_size, z_time = results[True]
+    write_report(
+        "abl_fmt_compression",
+        "ABL-FMT: chunk compression tradeoff\n"
+        f"  raw : {human_bytes(raw_size)} in {raw_time * 1e3:.1f} ms\n"
+        f"  zlib: {human_bytes(z_size)} in {z_time * 1e3:.1f} ms "
+        f"({raw_size / z_size:.2f}x smaller)",
+    )
+    assert z_size < raw_size

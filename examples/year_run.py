@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Year-scale run: 52 weeks of simulation, streamed synthesis, monthly
+aggregates.
+
+The paper's production scenario is a one-year simulation whose logs reach
+100-200 GB and whose analysis must proceed file-by-file, window-by-window.
+This example runs the full year at laptop scale and exercises exactly that
+discipline:
+
+1. simulate 52 weeks, streaming the event log to one EVL file (bounded
+   memory: the engine holds one week's schedule grid at a time);
+2. synthesize 13 four-week ("monthly") networks via the chunk index —
+   each window decodes only the chunks that overlap it;
+3. sum the monthlies into the annual network (the paper's aggregation)
+   and report the temporal statistics: seasonal edge counts, month-over-
+   month persistence, and the recurring contact core.
+
+Run:  python examples/year_run.py [n_persons]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro._util import human_bytes
+from repro.core import StreamingSynthesizer
+from repro.evlog import LogReader
+
+WEEKS = 52
+MONTH_HOURS = 4 * repro.HOURS_PER_WEEK  # 4-week "months"
+N_MONTHS = 13
+
+
+def main() -> None:
+    n_persons = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    pop = repro.generate_population(repro.ScaleConfig(n_persons=n_persons))
+    log_dir = Path(tempfile.mkdtemp(prefix="year-"))
+    log_path = log_dir / "rank_0000.evl"
+
+    print(f"=== simulating {WEEKS} weeks for {n_persons:,} persons ===")
+    config = repro.SimulationConfig(
+        scale=pop.scale, duration_hours=WEEKS * repro.HOURS_PER_WEEK
+    )
+    t0 = time.perf_counter()
+    result = repro.Simulation(pop, config).run_fast(log_path=log_path)
+    sim_time = time.perf_counter() - t0
+    reader = LogReader(log_path)
+    print(f"  wall time   : {sim_time:.1f} s")
+    print(f"  events      : {result.n_events:,} "
+          f"({result.events_per_person_day(n_persons):.2f}/person/day)")
+    print(f"  log size    : {human_bytes(reader.file_bytes)} "
+          f"in {reader.n_chunks} chunks")
+    rate = result.n_events / (n_persons * WEEKS * 7)
+    paper_year = 2_900_000 * rate * 365 * 20
+    print(f"  paper-scale projection (2.9 M persons, 1 year): "
+          f"{human_bytes(paper_year)}")
+
+    print(f"\n=== streaming synthesis: {N_MONTHS} four-week aggregates ===")
+    t0 = time.perf_counter()
+    series = StreamingSynthesizer(
+        n_persons, interval_hours=MONTH_HOURS
+    ).process(str(log_dir), N_MONTHS)
+    synth_time = time.perf_counter() - t0
+    edges = series.interval_edge_counts()
+    print(f"  wall time   : {synth_time:.1f} s "
+          f"({synth_time / N_MONTHS:.2f} s per month)")
+    print(f"  edges/month : min={edges.min():,} max={edges.max():,}")
+
+    persistence = series.edge_persistence()
+    weeks_met, pair_counts = series.edge_recurrence()
+    annual = series.total()
+    print(f"\n=== annual network ===")
+    print(repro.summarize(annual).report())
+    print(f"\n  month-over-month persistence: "
+          f"mean={persistence.mean():.2f} "
+          f"(min={persistence.min():.2f}, max={persistence.max():.2f})")
+    core = pair_counts[weeks_met >= N_MONTHS - 1].sum()
+    once = pair_counts[weeks_met == 1].sum()
+    print(f"  pairs meeting in >= {N_MONTHS - 1} months : {core:,} "
+          f"(the stable core)")
+    print(f"  pairs meeting in exactly 1 month : {once:,} "
+          f"(the venue fringe)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Local clustering coefficient (Figure 4).
+
+"The local clustering coefficient, or transitivity, is calculated for each
+person vertex in the collocation network and describes the local
+connectedness of each vertex's neighbors via the ratio of connected edge
+triangles and triples centered on the vertex."
+
+Computed sparsely: with binary symmetric adjacency *A*, the triangle count
+through vertex *i* is ``(A·A ∘ A) 1 / 2`` (elementwise product with *A*
+keeps only wedges that close).  Runs in sparse matmul time — no per-vertex
+Python loops — and is cross-validated against networkx in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import AnalysisError
+from ..core.network import CollocationNetwork
+
+__all__ = ["local_clustering", "clustering_histogram", "mean_clustering"]
+
+
+def _binary_symmetric(network: CollocationNetwork | sp.spmatrix) -> sp.csr_matrix:
+    sym = (
+        network.symmetric()
+        if isinstance(network, CollocationNetwork)
+        else sp.csr_matrix(network)
+    )
+    binary = sym.copy()
+    binary.data = np.ones_like(binary.data, dtype=np.int64)
+    return binary
+
+
+def local_clustering(
+    network: CollocationNetwork | sp.spmatrix,
+    batch_rows: int = 8192,
+) -> np.ndarray:
+    """Per-vertex local clustering coefficient in [0, 1].
+
+    Vertices with degree < 2 get coefficient 0 (consistent with igraph's
+    ``transitivity_local`` NaN→excluded convention being mapped to 0 for
+    histogramming).
+
+    ``batch_rows`` bounds the memory of the ``A·A`` intermediate: rows are
+    processed in blocks, so the full triangle matrix never materializes.
+    """
+    a = _binary_symmetric(network)
+    n = a.shape[0]
+    degrees = np.diff(a.indptr).astype(np.int64)
+    triangles = np.zeros(n, dtype=np.int64)
+    for lo in range(0, n, batch_rows):
+        hi = min(n, lo + batch_rows)
+        block = a[lo:hi]  # (rows, n)
+        wedge = block @ a  # paths of length 2 from each row vertex
+        closed = wedge.multiply(block)  # keep only wedges closing an edge
+        triangles[lo:hi] = np.asarray(closed.sum(axis=1)).ravel() // 2
+    coeff = np.zeros(n, dtype=np.float64)
+    can = degrees >= 2
+    possible = degrees[can] * (degrees[can] - 1) / 2
+    coeff[can] = triangles[can] / possible
+    if coeff.size and (coeff.max() > 1.0 + 1e-9 or coeff.min() < 0):
+        raise AnalysisError("clustering coefficient outside [0, 1]")
+    return np.clip(coeff, 0.0, 1.0)
+
+
+def clustering_histogram(
+    coefficients: np.ndarray,
+    n_bins: int = 20,
+    degrees: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of local clustering coefficients (Figure 4).
+
+    Returns ``(bin_edges, counts)`` with ``n_bins`` equal bins over [0, 1].
+    When ``degrees`` is given, vertices with degree < 2 are excluded (they
+    have no defined coefficient), matching the paper's per-person-vertex
+    histogram.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if degrees is not None:
+        coefficients = coefficients[np.asarray(degrees) >= 2]
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    counts, _ = np.histogram(coefficients, bins=edges)
+    return edges, counts.astype(np.int64)
+
+
+def mean_clustering(
+    coefficients: np.ndarray, degrees: np.ndarray | None = None
+) -> float:
+    """Mean local clustering over vertices with a defined coefficient."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if degrees is not None:
+        coefficients = coefficients[np.asarray(degrees) >= 2]
+    return float(coefficients.mean()) if coefficients.size else 0.0

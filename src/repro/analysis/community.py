@@ -1,0 +1,110 @@
+"""Community detection on collocation networks.
+
+The paper's introduction motivates going beyond aggregate statistics with
+"more novel approaches such as community detection algorithms that can
+capture emergent macro level characteristics of the network".  This module
+provides:
+
+* :func:`label_propagation` — weighted synchronous label propagation,
+  implemented as sparse matrix products (one ``A @ onehot(labels)`` per
+  sweep), scaling to the full collocation network;
+* :func:`modularity` — Newman weighted modularity of a labeling;
+* :func:`community_sizes` — size census of the detected communities.
+
+On collocation networks the detected communities recover the model's
+ground-truth social units (households, classrooms, workplaces), which the
+tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.network import CollocationNetwork
+from ..errors import AnalysisError
+
+__all__ = ["label_propagation", "modularity", "community_sizes"]
+
+
+def _symmetric(network: CollocationNetwork | sp.spmatrix) -> sp.csr_matrix:
+    if isinstance(network, CollocationNetwork):
+        return network.symmetric()
+    return sp.csr_matrix(network)
+
+
+def label_propagation(
+    network: CollocationNetwork | sp.spmatrix,
+    max_sweeps: int = 30,
+    seed: int = 0,
+) -> np.ndarray:
+    """Weighted label propagation; returns a dense label per vertex.
+
+    Each sweep assigns every vertex the label carrying the greatest
+    incident edge weight among its neighbors (synchronous update with a
+    stay-put bias to damp oscillation); converges when < 0.1% of vertices
+    change.  Isolated vertices keep singleton labels.
+    """
+    a = _symmetric(network)
+    n = a.shape[0]
+    rng = np.random.default_rng(seed)
+    # random initial tie-break ordering via label permutation
+    labels = rng.permutation(n).astype(np.int64)
+
+    for _ in range(max_sweeps):
+        # compress label space each sweep so the onehot stays narrow
+        uniq, labels = np.unique(labels, return_inverse=True)
+        k = len(uniq)
+        onehot = sp.csr_matrix(
+            (np.ones(n), (np.arange(n), labels)), shape=(n, k)
+        )
+        votes = (a @ onehot).tocsr()  # (n, k) weighted label votes
+        # stay-put bias: half a vote for the current label damps flip-flop
+        stay = sp.csr_matrix(
+            (np.full(n, 0.5), (np.arange(n), labels)), shape=(n, k)
+        )
+        votes_csr = votes + stay
+        new_labels = np.asarray(votes_csr.argmax(axis=1)).ravel()
+        # vertices with no neighbors keep their own label
+        degrees = np.diff(a.indptr)
+        new_labels[degrees == 0] = labels[degrees == 0]
+        changed = int((new_labels != labels).sum())
+        labels = new_labels.astype(np.int64)
+        if changed <= max(1, n // 1000):
+            break
+    # renumber 0..k-1
+    _, labels = np.unique(labels, return_inverse=True)
+    return labels.astype(np.int64)
+
+
+def modularity(
+    network: CollocationNetwork | sp.spmatrix, labels: np.ndarray
+) -> float:
+    """Newman weighted modularity Q of a vertex labeling.
+
+    ``Q = Σ_c [ w_in(c)/W - (s(c)/2W)² ]`` with ``W`` the total edge
+    weight, ``w_in`` the intra-community weight, and ``s`` the community
+    strength (sum of vertex strengths).
+    """
+    a = _symmetric(network)
+    labels = np.asarray(labels)
+    if labels.shape != (a.shape[0],):
+        raise AnalysisError("labels must cover every vertex")
+    coo = sp.triu(a, k=1).tocoo()
+    total_w = float(coo.data.sum())
+    if total_w == 0:
+        return 0.0
+    intra = coo.data[labels[coo.row] == labels[coo.col]].sum()
+    strength = np.asarray(a.sum(axis=1)).ravel()
+    k = int(labels.max()) + 1
+    comm_strength = np.bincount(labels, weights=strength, minlength=k)
+    q = intra / total_w - float(
+        np.sum((comm_strength / (2.0 * total_w)) ** 2)
+    )
+    return float(q)
+
+
+def community_sizes(labels: np.ndarray) -> np.ndarray:
+    """Community sizes, descending."""
+    sizes = np.bincount(np.asarray(labels))
+    return np.sort(sizes[sizes > 0])[::-1]

@@ -1,0 +1,102 @@
+"""Time-use statistics from event logs.
+
+The inputs to chiSIM are activity schedules, so the natural audit of a run
+— and the bridge between the log layer and demography — is a time-use
+table: person-hours by activity, broken down by demographic group.  This
+is the aggregate-statistics view the paper contrasts with network analysis
+(Section I), provided here for completeness and used by the population
+validator's deeper checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import AGE_GROUPS, age_group_labels
+from ..errors import AnalysisError
+from ..evlog.schema import LOG_DTYPE, LogRecordArray
+from ..synthpop.person import PersonTable
+from ..synthpop.schedule import ACTIVITY_NAMES, Activity
+
+__all__ = ["TimeUseTable", "time_use_table"]
+
+
+@dataclass
+class TimeUseTable:
+    """Person-hours by (age group, activity).
+
+    Attributes
+    ----------
+    hours:
+        ``(n_groups, n_activities)`` int64 person-hours.
+    group_sizes:
+        persons per age group.
+    """
+
+    hours: np.ndarray
+    group_sizes: np.ndarray
+    activity_names: list[str]
+
+    @property
+    def group_labels(self) -> list[str]:
+        return age_group_labels()
+
+    def shares(self) -> np.ndarray:
+        """Row-normalized: fraction of each group's time per activity."""
+        totals = self.hours.sum(axis=1, keepdims=True)
+        return np.divide(
+            self.hours, totals, out=np.zeros_like(self.hours, dtype=float),
+            where=totals > 0,
+        )
+
+    def hours_per_person_week(self, total_hours: int) -> np.ndarray:
+        """Mean weekly hours per activity for a group member."""
+        weeks = total_hours / (7 * 24)
+        sizes = np.maximum(self.group_sizes, 1)[:, None]
+        return self.hours / sizes / max(weeks, 1e-12)
+
+    def report(self) -> str:
+        shares = self.shares()
+        lines = ["time use by age group (fraction of group's hours):"]
+        header = "          " + "".join(
+            f"{name[:9]:>10}" for name in self.activity_names
+        )
+        lines.append(header)
+        for i, label in enumerate(self.group_labels):
+            row = "".join(f"{shares[i, j]:>10.3f}" for j in range(shares.shape[1]))
+            lines.append(f"  {label:>7} {row}")
+        return "\n".join(lines)
+
+
+def time_use_table(
+    records: LogRecordArray, persons: PersonTable
+) -> TimeUseTable:
+    """Aggregate person-hours by (age group, activity) from log records."""
+    records = np.asarray(records)
+    if records.dtype != LOG_DTYPE:
+        raise AnalysisError("expected log records")
+    if records.size and int(records["person"].max()) >= len(persons):
+        raise AnalysisError("records reference persons outside the table")
+    groups = persons.age_group().astype(np.int64)
+    g = len(AGE_GROUPS)
+    n_act = max(len(Activity), int(records["activity"].max()) + 1 if records.size else 1)
+    hours = (records["stop"] - records["start"]).astype(np.int64)
+    rec_groups = groups[records["person"].astype(np.int64)]
+    rec_acts = records["activity"].astype(np.int64)
+    flat = rec_groups * n_act + rec_acts
+    table = np.bincount(flat, weights=hours, minlength=g * n_act).reshape(
+        g, n_act
+    )
+    names = [
+        ACTIVITY_NAMES.get(Activity(a), f"activity-{a}")
+        if a in set(int(x) for x in Activity)
+        else f"activity-{a}"
+        for a in range(n_act)
+    ]
+    return TimeUseTable(
+        hours=table.astype(np.int64),
+        group_sizes=np.bincount(groups, minlength=g),
+        activity_names=names,
+    )

@@ -1,0 +1,235 @@
+"""Command-line interface: the full pipeline as composable subcommands.
+
+The paper's workflow is a chain of batch jobs (simulate on the cluster →
+per-rank logs → synthesis jobs → analysis scripts); this CLI mirrors that
+chain so each stage can run, be inspected, and be re-run independently::
+
+    python -m repro generate  --persons 10000 --out world.npz
+    python -m repro simulate  --population world.npz --ranks 8 \\
+                              --log-dir logs/ --weeks 1
+    python -m repro synthesize --log-dir logs/ --population world.npz \\
+                              --out week.net.npz
+    python -m repro analyze   --network week.net.npz --population world.npz
+    python -m repro epidemic  --population world.npz --beta 0.01 --weeks 2
+    python -m repro export-ego --network week.net.npz --person 123 \\
+                              --out ego.gexf
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import (
+    CollocationNetwork,
+    DiseaseConfig,
+    HOURS_PER_WEEK,
+    ScaleConfig,
+    Simulation,
+    SimulationConfig,
+    DistributedSimulation,
+    compare_fits,
+    degree_distribution,
+    ego_network,
+    generate_population,
+    load_population,
+    save_population,
+    spatial_partition,
+    summarize,
+    synthesize_from_logs,
+)
+from .analysis import (
+    age_group_degree_distributions,
+    clustering_histogram,
+    local_clustering,
+)
+from .sim import PrevalenceObserver
+from .viz import ascii_histogram, ascii_loglog, ascii_series, write_gexf
+from .viz.forceatlas2 import forceatlas2_layout
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    pop = generate_population(
+        ScaleConfig(n_persons=args.persons, seed=args.seed)
+    )
+    path = save_population(pop, args.out)
+    print(f"wrote {path}")
+    for key, value in pop.summary().items():
+        print(f"  {key:>20}: {value}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    pop = load_population(args.population)
+    config = SimulationConfig(
+        scale=pop.scale,
+        duration_hours=args.weeks * HOURS_PER_WEEK,
+        n_ranks=args.ranks,
+        log_cache_records=args.cache,
+    )
+    log_dir = Path(args.log_dir)
+    if args.ranks == 1:
+        log_dir.mkdir(parents=True, exist_ok=True)
+        result = Simulation(pop, config).run_fast(
+            log_path=log_dir / "rank_0000.evl"
+        )
+        print(f"serial run: {result.n_events:,} events")
+    else:
+        part = spatial_partition(
+            pop.places.coords(), pop.places.capacity.astype(float), args.ranks
+        )
+        result = DistributedSimulation(pop, config, part).run(log_dir=log_dir)
+        print(
+            f"distributed run on {args.ranks} ranks: "
+            f"{result.total_events:,} events, "
+            f"{result.total_migrations:,} migrations, "
+            f"{result.traffic.bytes_sent:,} comm bytes"
+        )
+    print(f"logs in {log_dir}")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    pop = load_population(args.population)
+    t0 = args.t0
+    t1 = args.t1 if args.t1 is not None else t0 + HOURS_PER_WEEK
+    net, report = synthesize_from_logs(
+        args.log_dir, pop.n_persons, t0, t1, batch_size=args.batch_size
+    )
+    print(report.summary())
+    path = net.save(args.out)
+    print(f"\nwrote {path}")
+    print(summarize(net).report())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    net = CollocationNetwork.load(args.network)
+    print(summarize(net).report())
+
+    dist = degree_distribution(net.degrees())
+    print("\n--- Figure 3: degree distribution fits ---")
+    for name, fit in compare_fits(dist).items():
+        print(f"  {name:>22}: {fit!r}")
+    print(ascii_loglog(dist.degrees, dist.counts, title="degree counts"))
+
+    print("\n--- Figure 4: clustering ---")
+    coeffs = local_clustering(net)
+    edges, counts = clustering_histogram(coeffs, degrees=net.degrees())
+    print(ascii_histogram(edges, counts, log_counts=True))
+
+    if args.population:
+        pop = load_population(args.population)
+        print("\n--- Figure 5: age-group degree distributions ---")
+        for label, d in age_group_degree_distributions(net, pop.persons).items():
+            print(
+                f"  {label:>6}: members={d.n_vertices:>8,} "
+                f"mean_k={d.mean_degree:>6.1f} max_k={d.max_degree}"
+            )
+    return 0
+
+
+def _cmd_epidemic(args: argparse.Namespace) -> int:
+    pop = load_population(args.population)
+    config = SimulationConfig(
+        scale=pop.scale,
+        duration_hours=args.weeks * HOURS_PER_WEEK,
+        disease=DiseaseConfig(
+            transmissibility=args.beta, initial_infected=args.seeds
+        ),
+    )
+    observer = PrevalenceObserver()
+    result = Simulation(pop, config).run(observers=[observer])
+    disease = result.disease
+    assert disease is not None
+    print(f"final: {disease.counts()}")
+    print(f"attack rate: {disease.attack_rate():.1%}")
+    print(ascii_series(
+        np.array(observer.series["infectious"]), title="infectious over time"
+    ))
+    return 0
+
+
+def _cmd_export_ego(args: argparse.Namespace) -> int:
+    net = CollocationNetwork.load(args.network)
+    person = args.person
+    if person is None:
+        person = int(np.argmax(net.degrees()))
+        print(f"no --person given; using max-degree person {person}")
+    ego = ego_network(net, person, radius=args.radius)
+    print(f"ego: {ego.n_nodes:,} nodes, {ego.n_edges:,} edges")
+    positions = forceatlas2_layout(ego.matrix, iterations=args.iterations)
+    path = write_gexf(
+        args.out, ego.matrix, positions=positions, node_labels=ego.persons
+    )
+    print(f"wrote {path} (open in Gephi)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Endogenous social networks from agent-based models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic population")
+    p.add_argument("--persons", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("simulate", help="run the model, writing EVL logs")
+    p.add_argument("--population", required=True)
+    p.add_argument("--weeks", type=int, default=1)
+    p.add_argument("--ranks", type=int, default=1)
+    p.add_argument("--cache", type=int, default=10_000)
+    p.add_argument("--log-dir", required=True)
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("synthesize", help="logs → collocation network")
+    p.add_argument("--log-dir", required=True)
+    p.add_argument("--population", required=True)
+    p.add_argument("--t0", type=int, default=0)
+    p.add_argument("--t1", type=int, default=None)
+    p.add_argument("--batch-size", type=int, default=16)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_synthesize)
+
+    p = sub.add_parser("analyze", help="network statistics and figures")
+    p.add_argument("--network", required=True)
+    p.add_argument("--population", default=None)
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("epidemic", help="run an SEIR outbreak")
+    p.add_argument("--population", required=True)
+    p.add_argument("--weeks", type=int, default=2)
+    p.add_argument("--beta", type=float, default=0.01)
+    p.add_argument("--seeds", type=int, default=3)
+    p.set_defaults(fn=_cmd_epidemic)
+
+    p = sub.add_parser("export-ego", help="ego network → GEXF for Gephi")
+    p.add_argument("--network", required=True)
+    p.add_argument("--person", type=int, default=None)
+    p.add_argument("--radius", type=int, default=2)
+    p.add_argument("--iterations", type=int, default=80)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_export_ego)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

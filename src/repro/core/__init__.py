@@ -1,0 +1,57 @@
+"""Collocation network synthesis — the paper's primary contribution.
+
+From event-log records to a person collocation network (paper Section IV):
+
+1. **time slicing** (:mod:`repro.core.slicing`) — subset log records to the
+   analysis window, clipping activity intervals;
+2. **collocation matrices** (:mod:`repro.core.colloc`) — per place, a
+   sparse binary ``p × t`` matrix *x* marking which person was present at
+   which hour;
+3. **load balancing** (:mod:`repro.core.balance`) — partition the matrix
+   list across workers by nonzero count, "crucial to achieve even load
+   balancing" because place sizes "range from a single individual to tens
+   of thousands";
+4. **adjacency matrices** (:mod:`repro.core.adjacency`) — per place,
+   ``A_l = x·xᵀ``; the weighted network is ``A = Σ_l A_l``, stored upper
+   triangular (the graph is undirected);
+5. **pipeline** (:mod:`repro.core.pipeline`) — the orchestration, serial
+   or over a :mod:`repro.distrib.taskpool` worker pool, with the paper's
+   independent per-batch log-file processing;
+6. **network** (:mod:`repro.core.network`) — the resulting
+   :class:`~repro.core.network.CollocationNetwork` object consumed by
+   :mod:`repro.analysis`.
+"""
+
+from .slicing import slice_records, clip_records, unique_places
+from .colloc import CollocationMatrix, build_collocation_matrices, collocation_matrix_for_place
+from .balance import balance_by_nnz, BalanceReport
+from .adjacency import place_adjacency, accumulate_adjacency, triu_symmetrize
+from .network import CollocationNetwork
+from .pipeline import SynthesisReport, synthesize_network, synthesize_from_logs
+from .streaming import StreamingSynthesizer, WeeklyNetworkSeries
+from .bsp_pipeline import BspSynthesisResult, synthesize_network_bsp
+from .layers import synthesize_layers, layer_records
+
+__all__ = [
+    "slice_records",
+    "clip_records",
+    "unique_places",
+    "CollocationMatrix",
+    "build_collocation_matrices",
+    "collocation_matrix_for_place",
+    "balance_by_nnz",
+    "BalanceReport",
+    "place_adjacency",
+    "accumulate_adjacency",
+    "triu_symmetrize",
+    "CollocationNetwork",
+    "SynthesisReport",
+    "synthesize_network",
+    "synthesize_from_logs",
+    "StreamingSynthesizer",
+    "WeeklyNetworkSeries",
+    "BspSynthesisResult",
+    "synthesize_network_bsp",
+    "synthesize_layers",
+    "layer_records",
+]

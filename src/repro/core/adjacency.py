@@ -1,0 +1,112 @@
+"""Adjacency matrix computation: ``A_l = x·xᵀ`` and accumulation.
+
+"The multiplication x·xᵀ sums all of the times each person collocates with
+every other person" at a place; the network adjacency is the sum over
+places, "stored as a sparse triangular matrix which provides significant
+memory and processing time savings compared to using a full, dense
+matrix."
+
+Matrices are accumulated in **global person coordinates** as upper
+triangular CSR (row < col), weights = collocated hours; the diagonal
+(self-collocation) is dropped.  The per-place product runs in *local*
+coordinates (participants only) and is mapped back to global ids, so the
+cost of a place scales with its participants, not the population.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import SynthesisError
+from .colloc import CollocationMatrix
+
+__all__ = [
+    "place_adjacency",
+    "accumulate_adjacency",
+    "sum_adjacency_list",
+    "triu_symmetrize",
+    "empty_adjacency",
+]
+
+
+def place_adjacency(colloc: CollocationMatrix, n_persons: int) -> sp.coo_matrix:
+    """``A_l = x·xᵀ`` for one place, in global person coordinates.
+
+    Returns a strict upper-triangular COO matrix of shape ``(n_persons,
+    n_persons)``; entry ``(i, j)`` counts the hours persons *i* and *j*
+    were simultaneously at the place.  The diagonal (hours the person was
+    simply present) is discarded.
+    """
+    if colloc.persons.size and int(colloc.persons.max()) >= n_persons:
+        raise SynthesisError("collocation matrix references person outside population")
+    x = colloc.matrix
+    local = (x @ x.T).tocoo()  # local person × local person, hour counts
+    rows = colloc.persons[local.row].astype(np.int64)
+    cols = colloc.persons[local.col].astype(np.int64)
+    keep = rows < cols
+    return sp.coo_matrix(
+        (local.data[keep].astype(np.int64), (rows[keep], cols[keep])),
+        shape=(n_persons, n_persons),
+    )
+
+
+def empty_adjacency(n_persons: int) -> sp.csr_matrix:
+    """All-zero upper-triangular adjacency."""
+    return sp.csr_matrix((n_persons, n_persons), dtype=np.int64)
+
+
+def accumulate_adjacency(
+    parts: Iterable[sp.spmatrix],
+    n_persons: int,
+) -> sp.csr_matrix:
+    """Sum adjacency contributions into one deduplicated CSR.
+
+    Concatenates all COO triples and lets one ``tocsr`` do the merge —
+    far cheaper than repeated ``csr + csr`` for many small parts.
+    """
+    row_parts: list[np.ndarray] = []
+    col_parts: list[np.ndarray] = []
+    data_parts: list[np.ndarray] = []
+    for part in parts:
+        coo = part.tocoo()
+        if len(coo.data) == 0:
+            continue
+        if int(coo.row.max()) >= n_persons or int(coo.col.max()) >= n_persons:
+            raise SynthesisError("adjacency entry outside population")
+        row_parts.append(coo.row.astype(np.int64))
+        col_parts.append(coo.col.astype(np.int64))
+        data_parts.append(coo.data.astype(np.int64))
+    if not row_parts:
+        return empty_adjacency(n_persons)
+    rows = np.concatenate(row_parts)
+    cols = np.concatenate(col_parts)
+    data = np.concatenate(data_parts)
+    if np.any(rows >= cols):
+        raise SynthesisError("accumulate_adjacency expects strict upper triangles")
+    out = sp.coo_matrix(
+        (data, (rows, cols)), shape=(n_persons, n_persons)
+    ).tocsr()
+    out.sum_duplicates()
+    return out
+
+
+def triu_symmetrize(adj: sp.spmatrix) -> sp.csr_matrix:
+    """Expand an upper-triangular adjacency to its full symmetric form."""
+    adj = adj.tocsr()
+    return (adj + adj.T).tocsr()
+
+
+def sum_adjacency_list(
+    matrices: Sequence[CollocationMatrix], n_persons: int
+) -> sp.csr_matrix:
+    """A worker's job: ``Σ place_adjacency(x)`` over its matrix share.
+
+    "Each worker finally sums the set of adjacency matrices it has created
+    and returns a single adjacency matrix to the root process."
+    """
+    return accumulate_adjacency(
+        (place_adjacency(m, n_persons) for m in matrices), n_persons
+    )

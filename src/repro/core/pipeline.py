@@ -1,0 +1,251 @@
+"""End-to-end synthesis orchestration (paper Section IV.A).
+
+The stages map one-to-one onto the paper's:
+
+1. *data loading* — read per-rank EVL files (root);
+2. *collocation matrices creation* — slice the window, group records by
+   place, map matrix construction over a worker pool;
+3. *collocation matrix list partitioning* — LPT by nnz across workers;
+4. *adjacency matrices creation* — each worker computes and sums its
+   ``x·xᵀ`` share; the root reduces to one upper-triangular matrix.
+
+Log files are processed in independent batches ("batches of 16 files at a
+time"); batch networks are summed.  Batch independence relies on the
+distributed model's place ownership: every record for a place lives in
+exactly one rank's file, so a place's collocation matrix is never split
+across batches.  ``validate_place_locality`` makes that precondition
+checkable for logs of unknown provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+import numpy as np
+
+from .._util import StageTimings
+from ..errors import SynthesisError
+from ..evlog.multifile import LogSet
+from ..evlog.schema import LogRecordArray
+from ..distrib.taskpool import SerialPool, WorkerPool
+from .adjacency import accumulate_adjacency, sum_adjacency_list
+from .balance import BalanceReport, balance_by_nnz
+from .colloc import CollocationMatrix, collocation_matrix_for_place
+from .network import CollocationNetwork
+from .slicing import records_by_place, slice_records
+
+__all__ = [
+    "SynthesisReport",
+    "synthesize_network",
+    "synthesize_from_logs",
+    "validate_place_locality",
+]
+
+
+@dataclass
+class SynthesisReport:
+    """Observability for one synthesis run."""
+
+    n_records: int = 0
+    n_sliced_records: int = 0
+    n_places: int = 0
+    n_workers: int = 1
+    colloc_nnz_total: int = 0
+    balance: BalanceReport | None = None
+    timings: StageTimings = field(default_factory=StageTimings)
+    batches: int = 1
+
+    def summary(self) -> str:
+        lines = [
+            f"records          {self.n_records:>12,}",
+            f"in slice         {self.n_sliced_records:>12,}",
+            f"places           {self.n_places:>12,}",
+            f"workers          {self.n_workers:>12,}",
+            f"presence nnz     {self.colloc_nnz_total:>12,}",
+            f"batches          {self.batches:>12,}",
+        ]
+        if self.balance is not None:
+            lines.append(f"load imbalance   {self.balance.imbalance:>12.3f}")
+        lines.append("--- timings ---")
+        lines.append(self.timings.report())
+        return "\n".join(lines)
+
+
+def _matrices_task(
+    chunk: tuple[list[tuple[int, LogRecordArray]], int, int],
+) -> list[CollocationMatrix]:
+    """Stage-2 worker: build collocation matrices for a chunk of places."""
+    groups, t0, t1 = chunk
+    return [
+        collocation_matrix_for_place(place, records, t0, t1)
+        for place, records in groups
+    ]
+
+
+def _adjacency_task(
+    chunk: tuple[list[CollocationMatrix], int],
+):
+    """Stage-4 worker: sum ``x·xᵀ`` over its balanced matrix share."""
+    matrices, n_persons = chunk
+    return sum_adjacency_list(matrices, n_persons)
+
+
+def _chunk_groups(
+    groups: list[tuple[int, LogRecordArray]], n_chunks: int
+) -> list[list[tuple[int, LogRecordArray]]]:
+    """Split place groups into roughly record-balanced chunks, preserving
+    a deterministic order."""
+    if n_chunks <= 1 or len(groups) <= 1:
+        return [groups]
+    # simple greedy by record count, stable across runs
+    sizes = np.array([len(rec) for _, rec in groups], dtype=np.int64)
+    order = np.argsort(-sizes, kind="stable")
+    loads = np.zeros(n_chunks, dtype=np.int64)
+    chunks: list[list[tuple[int, LogRecordArray]]] = [[] for _ in range(n_chunks)]
+    for i in order:
+        b = int(np.argmin(loads))
+        chunks[b].append(groups[int(i)])
+        loads[b] += sizes[i]
+    return [c for c in chunks if c]
+
+
+def synthesize_network(
+    records: LogRecordArray,
+    n_persons: int,
+    t0: int,
+    t1: int,
+    pool: WorkerPool | None = None,
+) -> tuple[CollocationNetwork, SynthesisReport]:
+    """Build the collocation network for window ``[t0, t1)`` from records.
+
+    Parameters
+    ----------
+    records:
+        Event-log records (any order, any provenance).
+    n_persons:
+        Population size (matrix dimension).
+    t0, t1:
+        Analysis window in absolute simulation hours.
+    pool:
+        Worker pool; default :class:`~repro.distrib.taskpool.SerialPool`.
+    """
+    if n_persons <= 0:
+        raise SynthesisError("n_persons must be positive")
+    own_pool = pool is None
+    pool = pool or SerialPool()
+    report = SynthesisReport(n_records=len(records), n_workers=pool.n_workers)
+    timings = report.timings
+    try:
+        with timings.time("slice"):
+            sliced = slice_records(records, t0, t1)
+        report.n_sliced_records = len(sliced)
+
+        with timings.time("group_by_place"):
+            place_ids, groups = records_by_place(sliced)
+            paired = list(zip((int(p) for p in place_ids), groups))
+        report.n_places = len(paired)
+
+        with timings.time("collocation_matrices"):
+            chunks = _chunk_groups(paired, pool.n_workers * 4)
+            results = pool.map(
+                _matrices_task, [(chunk, t0, t1) for chunk in chunks]
+            )
+            matrices = [m for sub in results for m in sub]
+        report.colloc_nnz_total = sum(m.nnz for m in matrices)
+
+        with timings.time("balance"):
+            shares, balance = balance_by_nnz(matrices, pool.n_workers)
+        report.balance = balance
+
+        with timings.time("adjacency"):
+            partials = pool.map(
+                _adjacency_task,
+                [(share, n_persons) for share in shares if share],
+            )
+
+        with timings.time("reduce"):
+            adjacency = accumulate_adjacency(partials, n_persons)
+    finally:
+        if own_pool:
+            pool.close()
+    return CollocationNetwork(adjacency, t0=t0, t1=t1), report
+
+
+def validate_place_locality(log_set: LogSet, batch_size: int) -> bool:
+    """Check that no place's records span more than one batch.
+
+    Returns True when batch-independent processing is exact for this log
+    directory (always true for logs written by the distributed model,
+    whose ranks own disjoint place sets at any time — and places never
+    change owner during a run).
+    """
+    seen: dict[int, int] = {}
+    for batch_index, batch in enumerate(log_set.batches(batch_size)):
+        places: set[int] = set()
+        from ..evlog.reader import LogReader
+
+        for path in batch:
+            rec = LogReader(path).read_all()
+            places.update(int(p) for p in np.unique(rec["place"]))
+        for p in places:
+            if p in seen and seen[p] != batch_index:
+                return False
+            seen[p] = batch_index
+    return True
+
+
+def synthesize_from_logs(
+    log_dir: str | Path | LogSet,
+    n_persons: int,
+    t0: int,
+    t1: int,
+    batch_size: int = 16,
+    pool: WorkerPool | None = None,
+) -> tuple[CollocationNetwork, SynthesisReport]:
+    """Synthesize the network from a directory of per-rank EVL files.
+
+    Files are processed in independent batches of ``batch_size`` (the
+    paper's job unit); per-batch networks are summed into the complete
+    network.
+    """
+    log_set = log_dir if isinstance(log_dir, LogSet) else LogSet(log_dir)
+    own_pool = pool is None
+    pool = pool or SerialPool()
+    network: CollocationNetwork | None = None
+    total_report = SynthesisReport(n_workers=pool.n_workers, batches=0)
+    try:
+        from ..evlog.reader import LogReader
+
+        for batch in log_set.batches(batch_size):
+            parts = []
+            with total_report.timings.time("load"):
+                for path in batch:
+                    rec = LogReader(path).read_time_slice(t0, t1)
+                    if len(rec):
+                        parts.append(rec)
+            if not parts:
+                total_report.batches += 1
+                continue
+            records = (
+                np.concatenate(parts) if len(parts) > 1 else parts[0]
+            )
+            batch_net, batch_report = synthesize_network(
+                records, n_persons, t0, t1, pool=pool
+            )
+            network = batch_net if network is None else network + batch_net
+            total_report.batches += 1
+            total_report.n_records += batch_report.n_records
+            total_report.n_sliced_records += batch_report.n_sliced_records
+            total_report.n_places += batch_report.n_places
+            total_report.colloc_nnz_total += batch_report.colloc_nnz_total
+            total_report.balance = batch_report.balance
+            for name, secs in batch_report.timings.stages.items():
+                total_report.timings.add(name, secs)
+    finally:
+        if own_pool:
+            pool.close()
+    if network is None:
+        network = CollocationNetwork(
+            accumulate_adjacency([], n_persons), t0=t0, t1=t1
+        )
+    return network, total_report

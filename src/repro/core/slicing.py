@@ -1,0 +1,72 @@
+"""Time slicing of log record tables.
+
+"The process of creating the collocation matrices requires first
+sub-setting the table into time slices, e.g. one week, based on the start
+and stop times of the log entries."  The R pipeline used data.table binary
+search; the numpy equivalent is boolean masking plus interval clipping,
+which is similarly "extremely fast (seconds) ... even on tables with
+millions of rows".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SynthesisError
+from ..evlog.schema import LOG_DTYPE, LogRecordArray
+
+__all__ = ["slice_records", "clip_records", "unique_places", "records_by_place"]
+
+
+def slice_records(records: LogRecordArray, t0: int, t1: int) -> LogRecordArray:
+    """Records whose interval ``[start, stop)`` intersects ``[t0, t1)``.
+
+    Returns a copy with intervals **clipped** to the window, so downstream
+    collocation counting never credits hours outside the slice.
+    """
+    if t1 <= t0:
+        raise SynthesisError(f"empty time slice [{t0}, {t1})")
+    records = np.asarray(records, dtype=LOG_DTYPE)
+    mask = (records["start"] < t1) & (records["stop"] > t0)
+    return clip_records(records[mask], t0, t1)
+
+
+def clip_records(records: LogRecordArray, t0: int, t1: int) -> LogRecordArray:
+    """Clip record intervals to ``[t0, t1)`` (records must all intersect)."""
+    out = records.copy()
+    np.maximum(out["start"], t0, out=out["start"])
+    np.minimum(out["stop"], t1, out=out["stop"])
+    if np.any(out["stop"] <= out["start"]):
+        raise SynthesisError("clip produced an empty interval; slice first")
+    return out
+
+
+def unique_places(records: LogRecordArray) -> np.ndarray:
+    """Sorted unique place ids in a record table ("a list of place IDs that
+    occur in the time slice")."""
+    return np.unique(np.asarray(records, dtype=LOG_DTYPE)["place"])
+
+
+def records_by_place(
+    records: LogRecordArray,
+) -> tuple[np.ndarray, list[LogRecordArray]]:
+    """Group records by place id.
+
+    Returns ``(place_ids, groups)`` where ``groups[i]`` holds all records
+    at ``place_ids[i]``.  One argsort, no per-place scans — the vectorized
+    version of each worker "retriev[ing] log entries corresponding to each
+    ID".
+    """
+    records = np.asarray(records, dtype=LOG_DTYPE)
+    order = np.argsort(records["place"], kind="stable")
+    sorted_rec = records[order]
+    places = sorted_rec["place"]
+    if len(places) == 0:
+        return np.empty(0, dtype=np.uint32), []
+    change = np.flatnonzero(places[1:] != places[:-1]) + 1
+    starts = np.concatenate(([0], change, [len(places)]))
+    place_ids = places[starts[:-1]]
+    groups = [
+        sorted_rec[starts[i] : starts[i + 1]] for i in range(len(place_ids))
+    ]
+    return place_ids, groups

@@ -1,0 +1,307 @@
+"""Distributed model driver.
+
+Runs the chiSIM-like model across ranks the way Repast HPC does: each rank
+owns the places a :class:`~repro.distrib.partition.PlacePartition` assigns
+to it, hosts the agents currently at its places, and logs activity changes
+that occur on it ("each process logger is responsible for logging activity
+changes that occur only in that process").  When an agent's next place
+belongs to another rank, its open activity spell migrates there through a
+metered all-to-all exchange.
+
+Invariant (tested): for the same population/seed the union of all ranks'
+event records equals the serial engine's event stream exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..config import HOURS_PER_WEEK, SimulationConfig
+from ..errors import SimulationError
+from ..evlog.multifile import rank_log_path
+from ..evlog.schema import LogRecordArray, empty_records
+from ..evlog.writer import CachedLogWriter
+from ..synthpop.generator import SyntheticPopulation
+from ..synthpop.schedule import WeekGrid, WeeklyScheduleGenerator
+from .comm import Communicator, TrafficStats
+from .migration import pack_migrants, unpack_migrants
+from .partition import PlacePartition
+from .simcluster import SimCluster
+
+__all__ = ["DistributedSimulation", "DistributedRunResult"]
+
+
+class _ScheduleCache:
+    """Thread-shared lazy week-grid cache.
+
+    Models ranks reading the same deterministic schedule inputs; generating
+    a week once and sharing it read-only across rank threads avoids
+    duplicating the grid per rank in this in-process simulation.
+    """
+
+    def __init__(self, generator: WeeklyScheduleGenerator) -> None:
+        self._generator = generator
+        self._lock = threading.Lock()
+        self._weeks: dict[int, WeekGrid] = {}
+
+    def week(self, index: int) -> WeekGrid:
+        with self._lock:
+            grid = self._weeks.get(index)
+            if grid is None:
+                grid = self._generator.week(index)
+                self._weeks[index] = grid
+                # keep at most two weeks resident (current + boundary)
+                for old in [k for k in self._weeks if k < index - 1]:
+                    del self._weeks[old]
+        return grid
+
+
+@dataclass
+class _RankOutput:
+    rank: int
+    records: LogRecordArray
+    migrations_out: np.ndarray  # per-hour counts
+    hosted_final: int
+    log_path: Path | None
+
+
+@dataclass
+class DistributedRunResult:
+    """Everything a distributed run produced."""
+
+    n_ranks: int
+    duration_hours: int
+    per_rank_records: list[LogRecordArray]
+    migrations_per_hour: np.ndarray
+    traffic: TrafficStats
+    per_rank_traffic: list[TrafficStats] = field(default_factory=list)
+    log_paths: list[Path] = field(default_factory=list)
+
+    @property
+    def total_migrations(self) -> int:
+        return int(self.migrations_per_hour.sum())
+
+    @property
+    def total_events(self) -> int:
+        return sum(len(r) for r in self.per_rank_records)
+
+    def merged_records(self) -> LogRecordArray:
+        """All ranks' records, sorted by (person, start) — the canonical
+        order for comparison with the serial engine."""
+        parts = [r for r in self.per_rank_records if len(r)]
+        if not parts:
+            return empty_records(0)
+        merged = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        order = np.lexsort((merged["start"], merged["person"]))
+        return merged[order]
+
+    def events_per_rank(self) -> list[int]:
+        return [len(r) for r in self.per_rank_records]
+
+
+class DistributedSimulation:
+    """The distributed chiSIM-like model.
+
+    Parameters
+    ----------
+    population:
+        The synthetic world.
+    config:
+        ``config.n_ranks`` ranks are simulated; the disease layer is not
+        supported distributed (run it on the serial engine).
+    partition:
+        Place → rank ownership; see :mod:`repro.distrib.partition`.
+    """
+
+    def __init__(
+        self,
+        population: SyntheticPopulation,
+        config: SimulationConfig,
+        partition: PlacePartition,
+    ) -> None:
+        if config.disease is not None:
+            raise SimulationError(
+                "distributed runs do not support the disease layer; "
+                "use the serial Simulation"
+            )
+        if partition.n_places != population.n_places:
+            raise SimulationError(
+                "partition covers {0} places, population has {1}".format(
+                    partition.n_places, population.n_places
+                )
+            )
+        if partition.n_ranks != config.n_ranks:
+            raise SimulationError(
+                f"partition has {partition.n_ranks} ranks, config wants "
+                f"{config.n_ranks}"
+            )
+        self.population = population
+        self.config = config
+        self.partition = partition
+
+    def run(
+        self,
+        log_dir: str | Path | None = None,
+        cluster: "SimCluster | None" = None,
+    ) -> DistributedRunResult:
+        """Execute the run on ``config.n_ranks`` ranks.
+
+        ``cluster`` may be any object with a compatible ``run(rank_fn)``
+        (e.g. :class:`~repro.distrib.proccluster.ProcessBspCluster` for
+        real OS processes); defaults to the in-process simulated cluster.
+        """
+        duration = self.config.duration_hours
+        n_ranks = self.config.n_ranks
+        assignment = self.partition.assignment
+        cache = _ScheduleCache(
+            self.population.schedule_generator(self.config.schedule)
+        )
+        log_directory = Path(log_dir) if log_dir is not None else None
+        if log_directory is not None:
+            log_directory.mkdir(parents=True, exist_ok=True)
+        cache_records = self.config.log_cache_records
+
+        def rank_fn(comm: Communicator) -> _RankOutput:
+            rank = comm.rank
+            week = cache.week(0)
+            place0 = week.place[:, 0]
+            act0 = week.activity[:, 0]
+            mine = assignment[place0.astype(np.int64)] == rank
+            ids = np.flatnonzero(mine).astype(np.uint32)
+            spell_start = np.zeros(len(ids), dtype=np.int64)
+            spell_act = act0[ids].astype(np.uint32)
+            spell_place = place0[ids].astype(np.uint32)
+
+            writer = None
+            path = None
+            if log_directory is not None:
+                path = rank_log_path(log_directory, rank)
+                writer = CachedLogWriter(
+                    path, rank=rank, cache_records=cache_records
+                )
+            records: list[LogRecordArray] = []
+            migrations_out = np.zeros(duration, dtype=np.int64)
+
+            def emit(rec: LogRecordArray) -> None:
+                if len(rec):
+                    records.append(rec)
+                    if writer is not None:
+                        writer.log_batch(rec)
+
+            try:
+                for hour in range(1, duration):
+                    week_index, hour_of_week = divmod(hour, HOURS_PER_WEEK)
+                    if hour_of_week == 0 or hour == 1:
+                        week = cache.week(week_index)
+                    act_col = week.activity[:, hour_of_week]
+                    place_col = week.place[:, hour_of_week]
+
+                    new_act = act_col[ids]
+                    new_place = place_col[ids]
+                    changed = (new_act != spell_act) | (new_place != spell_place)
+                    idx = np.flatnonzero(changed)
+                    if len(idx):
+                        rec = empty_records(len(idx))
+                        rec["start"] = spell_start[idx]
+                        rec["stop"] = hour
+                        rec["person"] = ids[idx]
+                        rec["activity"] = spell_act[idx]
+                        rec["place"] = spell_place[idx]
+                        emit(rec)
+                        spell_start[idx] = hour
+                        spell_act[idx] = new_act[idx]
+                        spell_place[idx] = new_place[idx]
+
+                    dest = assignment[spell_place.astype(np.int64)]
+                    leaving = dest != rank
+                    payloads: list[np.ndarray | None] = [None] * comm.size
+                    if leaving.any():
+                        lv = np.flatnonzero(leaving)
+                        migrations_out[hour] = len(lv)
+                        dest_lv = dest[lv]
+                        order = np.argsort(dest_lv, kind="stable")
+                        lv = lv[order]
+                        dest_lv = dest_lv[order]
+                        bounds = np.searchsorted(
+                            dest_lv, np.arange(comm.size + 1)
+                        )
+                        for r in range(comm.size):
+                            lo, hi = bounds[r], bounds[r + 1]
+                            if hi > lo:
+                                rows = lv[lo:hi]
+                                payloads[r] = pack_migrants(
+                                    ids[rows],
+                                    spell_start[rows],
+                                    spell_act[rows],
+                                    spell_place[rows],
+                                )
+                        keep = ~leaving
+                        ids = ids[keep]
+                        spell_start = spell_start[keep]
+                        spell_act = spell_act[keep]
+                        spell_place = spell_place[keep]
+                    incoming = unpack_migrants(comm.alltoall(payloads))
+                    if len(incoming):
+                        ids = np.concatenate([ids, incoming["person"]])
+                        spell_start = np.concatenate(
+                            [spell_start, incoming["spell_start"]]
+                        )
+                        spell_act = np.concatenate(
+                            [spell_act, incoming["activity"]]
+                        )
+                        spell_place = np.concatenate(
+                            [spell_place, incoming["place"]]
+                        )
+
+                # close remaining spells
+                if len(ids):
+                    rec = empty_records(len(ids))
+                    rec["start"] = spell_start
+                    rec["stop"] = duration
+                    rec["person"] = ids
+                    rec["activity"] = spell_act
+                    rec["place"] = spell_place
+                    emit(rec)
+            finally:
+                if writer is not None:
+                    writer.close()
+
+            merged = (
+                np.concatenate(records) if len(records) > 1
+                else (records[0] if records else empty_records(0))
+            )
+            return _RankOutput(
+                rank=rank,
+                records=merged,
+                migrations_out=migrations_out,
+                hosted_final=len(ids),
+                log_path=path,
+            )
+
+        if cluster is None:
+            cluster = SimCluster(n_ranks)
+        result = cluster.run(rank_fn)
+        outputs: list[_RankOutput] = result.returns
+
+        hosted_total = sum(o.hosted_final for o in outputs)
+        if hosted_total != self.population.n_persons:
+            raise SimulationError(
+                f"agents lost in migration: {hosted_total} hosted at end, "
+                f"population is {self.population.n_persons}"
+            )
+        migrations = np.zeros(duration, dtype=np.int64)
+        for o in outputs:
+            migrations += o.migrations_out
+        return DistributedRunResult(
+            n_ranks=n_ranks,
+            duration_hours=duration,
+            per_rank_records=[o.records for o in outputs],
+            migrations_per_hour=migrations,
+            traffic=result.total_traffic,
+            per_rank_traffic=result.traffic,
+            log_paths=[o.log_path for o in outputs if o.log_path is not None],
+        )

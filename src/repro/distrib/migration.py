@@ -1,0 +1,63 @@
+"""Agent migration payloads.
+
+When an agent's next place lives on a different rank, the hosting rank
+ships the agent's state there.  The payload carries exactly what the
+destination needs to continue the agent's open activity spell; it is a
+fixed-width structured array so metering (and a real MPI port) sees a flat
+buffer, not pickled objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CommError
+
+__all__ = ["MIGRANT_DTYPE", "pack_migrants", "unpack_migrants"]
+
+#: person id, the open spell's start hour, and its (activity, place) state
+MIGRANT_DTYPE = np.dtype(
+    [
+        ("person", "<u4"),
+        ("spell_start", "<i8"),
+        ("activity", "<u4"),
+        ("place", "<u4"),
+    ]
+)
+
+
+def pack_migrants(
+    person: np.ndarray,
+    spell_start: np.ndarray,
+    activity: np.ndarray,
+    place: np.ndarray,
+) -> np.ndarray:
+    """Bundle migrating agents into one contiguous structured array."""
+    n = len(person)
+    for name, col in (
+        ("spell_start", spell_start),
+        ("activity", activity),
+        ("place", place),
+    ):
+        if len(col) != n:
+            raise CommError(f"migrant column {name} length mismatch")
+    out = np.empty(n, dtype=MIGRANT_DTYPE)
+    out["person"] = person
+    out["spell_start"] = spell_start
+    out["activity"] = activity
+    out["place"] = place
+    return out
+
+
+def unpack_migrants(
+    payloads: list[np.ndarray | None],
+) -> np.ndarray:
+    """Concatenate received migrant payloads (skipping empty/None)."""
+    parts = [
+        np.asarray(p, dtype=MIGRANT_DTYPE)
+        for p in payloads
+        if p is not None and len(p)
+    ]
+    if not parts:
+        return np.empty(0, dtype=MIGRANT_DTYPE)
+    return np.concatenate(parts) if len(parts) > 1 else parts[0]

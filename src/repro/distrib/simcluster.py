@@ -1,0 +1,121 @@
+"""In-process simulated cluster of lock-stepped ranks.
+
+Runs an SPMD function on *n* ranks, each a Python thread with its own
+:class:`~repro.distrib.comm.Communicator`.  Because rank functions only
+interact at collectives (which are barrier-synchronized) and otherwise
+touch only rank-private state, results are deterministic regardless of OS
+thread scheduling — which is what makes the serial-vs-distributed
+equivalence test meaningful.
+
+Threads, not processes: the simulated cluster exists to *model* rank
+topology, place ownership, and communication volume, not to win wall-clock
+speed (numpy releases the GIL for large kernels anyway; real task-parallel
+speedup lives in :class:`~repro.distrib.taskpool.ProcessPool`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..errors import CommError
+from .comm import Communicator, TrafficStats, _SharedBoard
+
+__all__ = ["SimCluster", "ClusterRunResult"]
+
+
+@dataclass
+class ClusterRunResult:
+    """Return values and traffic from one SPMD run."""
+
+    returns: list[Any]
+    traffic: list[TrafficStats]
+
+    @property
+    def total_traffic(self) -> TrafficStats:
+        if not self.traffic:
+            return TrafficStats()
+        return self.traffic[0].merged(self.traffic[1:])
+
+
+class SimCluster:
+    """A simulated cluster of ``n_ranks`` lock-stepped ranks.
+
+    Example
+    -------
+    >>> cluster = SimCluster(4)
+    >>> def rank_fn(comm):
+    ...     return comm.allreduce_sum(comm.rank)
+    >>> cluster.run(rank_fn).returns
+    [6, 6, 6, 6]
+    """
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise CommError(f"cluster needs at least one rank, got {n_ranks}")
+        self.n_ranks = n_ranks
+
+    def run(
+        self,
+        rank_fn: Callable[..., Any],
+        rank_args: Sequence[tuple] | None = None,
+        timeout: float | None = 600.0,
+    ) -> ClusterRunResult:
+        """Execute ``rank_fn(comm, *rank_args[rank])`` on every rank.
+
+        Any rank raising propagates the first exception to the caller after
+        breaking the barrier so sibling ranks do not deadlock.
+        """
+        if rank_args is not None and len(rank_args) != self.n_ranks:
+            raise CommError(
+                f"rank_args must have {self.n_ranks} entries, got {len(rank_args)}"
+            )
+        board = _SharedBoard(self.n_ranks)
+        comms = [Communicator(r, board) for r in range(self.n_ranks)]
+        returns: list[Any] = [None] * self.n_ranks
+        errors: list[tuple[int, BaseException]] = []
+        lock = threading.Lock()
+
+        def runner(rank: int) -> None:
+            args = rank_args[rank] if rank_args is not None else ()
+            try:
+                returns[rank] = rank_fn(comms[rank], *args)
+            except BaseException as exc:  # noqa: BLE001 - rethrown below
+                with lock:
+                    errors.append((rank, exc))
+                board.barrier.abort()
+
+        if self.n_ranks == 1:
+            # fast path, also keeps single-rank runs on the caller's stack
+            runner(0)
+        else:
+            threads = [
+                threading.Thread(
+                    target=runner, args=(rank,), name=f"simrank-{rank}", daemon=True
+                )
+                for rank in range(self.n_ranks)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=timeout)
+                if t.is_alive():
+                    board.barrier.abort()
+                    raise CommError(
+                        f"rank thread {t.name} did not finish within {timeout}s"
+                    )
+
+        if errors:
+            errors.sort(key=lambda e: e[0])
+            rank, exc = errors[0]
+            if isinstance(exc, CommError) and len(errors) > 1:
+                # prefer the root-cause error over secondary broken barriers
+                for r, e in errors:
+                    if not isinstance(e, CommError):
+                        rank, exc = r, e
+                        break
+            raise CommError(f"rank {rank} failed: {exc!r}") from exc
+        return ClusterRunResult(
+            returns=returns, traffic=[c.stats for c in comms]
+        )

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "PopulationError",
+    "ScheduleError",
+    "SimulationError",
+    "CommError",
+    "PartitionError",
+    "LogFormatError",
+    "LogTruncatedError",
+    "LogCorruptError",
+    "SynthesisError",
+    "AnalysisError",
+    "FitError",
+    "LayoutError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration values."""
+
+
+class PopulationError(ReproError):
+    """Synthetic population generation failed or produced invalid data."""
+
+
+class ScheduleError(ReproError):
+    """Activity schedule construction or validation failed."""
+
+
+class SimulationError(ReproError):
+    """Agent-based model execution failed."""
+
+
+class CommError(ReproError):
+    """Communicator misuse (bad rank, mismatched collective, closed cluster)."""
+
+
+class PartitionError(ReproError):
+    """Place-to-rank or work partitioning failed validation."""
+
+
+class LogFormatError(ReproError):
+    """An event-log file is not a valid EVL container."""
+
+
+class LogTruncatedError(LogFormatError):
+    """An event-log file ends mid-chunk (e.g. writer crashed before flush)."""
+
+
+class LogCorruptError(LogFormatError):
+    """An event-log chunk failed its checksum."""
+
+
+class SynthesisError(ReproError):
+    """Collocation network synthesis failed."""
+
+
+class AnalysisError(ReproError):
+    """Network analysis computation failed."""
+
+
+class FitError(AnalysisError):
+    """Distribution fitting could not converge or was given unusable data."""
+
+
+class LayoutError(ReproError):
+    """Graph layout computation failed."""

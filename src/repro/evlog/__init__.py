@@ -1,0 +1,47 @@
+"""Event-based activity logging — the paper's Section III substrate.
+
+The paper logs a fixed 20-byte record *(start, stop, person, activity,
+place)* — five 4-byte unsigned integers — each time an agent changes
+activity, caches ~10,000 records in memory per rank, and flushes full
+caches to chunked HDF5 files (one file per rank).
+
+HDF5 is not available in this environment, so this subpackage implements an
+equivalent chunked binary container (the **EVL format**) preserving every
+property the paper's pipeline relies on:
+
+* fixed-width 20-byte uint32 records (:mod:`repro.evlog.schema`);
+* a bounded in-memory write cache with the memory/IO tradeoff the paper
+  describes (:mod:`repro.evlog.writer`);
+* chunked storage with a per-chunk index enabling fast index-based and
+  time-sliced reads (:mod:`repro.evlog.format`, :mod:`repro.evlog.reader`);
+* one file per rank, batched multi-file iteration
+  (:mod:`repro.evlog.multifile`);
+* CRC-protected chunks and recovery of files truncated by a crashed writer.
+
+:mod:`repro.evlog.textlog` implements the naive string logger the paper
+uses as its size strawman.
+"""
+
+from .schema import LOG_DTYPE, RECORD_BYTES, LogRecordArray, empty_records, make_records
+from .format import EvlHeader, ChunkInfo
+from .writer import CachedLogWriter, WriterStats
+from .reader import LogReader
+from .multifile import LogSet, write_rank_logs
+from .textlog import TextLogWriter, text_log_size
+
+__all__ = [
+    "LOG_DTYPE",
+    "RECORD_BYTES",
+    "LogRecordArray",
+    "empty_records",
+    "make_records",
+    "EvlHeader",
+    "ChunkInfo",
+    "CachedLogWriter",
+    "WriterStats",
+    "LogReader",
+    "LogSet",
+    "write_rank_logs",
+    "TextLogWriter",
+    "text_log_size",
+]

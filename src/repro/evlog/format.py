@@ -1,0 +1,206 @@
+"""The EVL container format: header, chunks, index, trailer.
+
+Layout (all integers little-endian)::
+
+    +----------------------+
+    | file header (24 B)   |  magic 'EVLG', version, flags, record size, rank
+    +----------------------+
+    | chunk 0              |  'CHNK' + counts + crc32 + payload
+    | chunk 1              |
+    | ...                  |
+    +----------------------+
+    | index                |  'INDX' + per-chunk (offset, n, tmin, tmax)
+    +----------------------+
+    | trailer (20 B)       |  index offset + total records + 'EVLE'
+    +----------------------+
+
+The index stores each chunk's **time envelope** — the minimum ``start`` and
+maximum ``stop`` across its records — so a time-sliced read can skip chunks
+that cannot overlap the query window, which is the "fast index-based read
+performance" the paper gets from HDF5 chunking.
+
+A file without a valid trailer (writer crashed before ``close``) is still
+readable: chunks are self-delimiting and CRC-protected, so recovery scans
+forward and keeps every intact chunk.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from ..errors import LogCorruptError, LogFormatError, LogTruncatedError
+from .schema import RECORD_BYTES
+
+__all__ = [
+    "EVL_MAGIC",
+    "EVL_VERSION",
+    "FLAG_ZLIB",
+    "EvlHeader",
+    "ChunkInfo",
+    "pack_header",
+    "unpack_header",
+    "pack_chunk",
+    "read_chunk_at",
+    "pack_index",
+    "unpack_index",
+    "pack_trailer",
+    "unpack_trailer",
+    "HEADER_BYTES",
+    "CHUNK_HEADER_BYTES",
+    "TRAILER_BYTES",
+]
+
+EVL_MAGIC = b"EVLG"
+CHUNK_MAGIC = b"CHNK"
+INDEX_MAGIC = b"INDX"
+TRAILER_MAGIC = b"EVLE"
+EVL_VERSION = 1
+
+FLAG_ZLIB = 0x0001
+
+_HEADER = struct.Struct("<4sHHHHIQ")  # magic, version, flags, recsize, pad, rank, reserved
+_CHUNK_HEADER = struct.Struct("<4sIII")  # magic, n_records, payload_bytes, crc32
+_INDEX_HEADER = struct.Struct("<4sI")  # magic, n_chunks
+_INDEX_ENTRY = struct.Struct("<QIII")  # offset, n_records, tmin, tmax
+_TRAILER = struct.Struct("<QQ4s")  # index_offset, total_records, magic
+
+HEADER_BYTES = _HEADER.size
+CHUNK_HEADER_BYTES = _CHUNK_HEADER.size
+TRAILER_BYTES = _TRAILER.size
+
+
+@dataclass(frozen=True)
+class EvlHeader:
+    """Parsed file header."""
+
+    version: int
+    flags: int
+    record_bytes: int
+    rank: int
+
+    @property
+    def compressed(self) -> bool:
+        return bool(self.flags & FLAG_ZLIB)
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """One index entry: where a chunk lives and its time envelope."""
+
+    offset: int
+    n_records: int
+    t_min: int
+    t_max: int
+
+    def overlaps(self, t0: int, t1: int) -> bool:
+        """Could any record interval [start, stop) intersect [t0, t1)?"""
+        return self.t_min < t1 and self.t_max > t0
+
+
+def pack_header(rank: int, compressed: bool) -> bytes:
+    """Serialize the 24-byte file header."""
+    flags = FLAG_ZLIB if compressed else 0
+    return _HEADER.pack(EVL_MAGIC, EVL_VERSION, flags, RECORD_BYTES, 0, rank, 0)
+
+
+def unpack_header(buf: bytes) -> EvlHeader:
+    """Parse and validate the file header."""
+    if len(buf) < HEADER_BYTES:
+        raise LogTruncatedError("file shorter than EVL header")
+    magic, version, flags, recsize, _pad, rank, _res = _HEADER.unpack_from(buf)
+    if magic != EVL_MAGIC:
+        raise LogFormatError(f"bad magic {magic!r}: not an EVL file")
+    if version != EVL_VERSION:
+        raise LogFormatError(f"unsupported EVL version {version}")
+    if recsize != RECORD_BYTES:
+        raise LogFormatError(
+            f"record size {recsize} does not match schema ({RECORD_BYTES})"
+        )
+    return EvlHeader(version=version, flags=flags, record_bytes=recsize, rank=rank)
+
+
+def pack_chunk(record_bytes_image: bytes, n_records: int, compress: bool) -> bytes:
+    """Frame a chunk: header + (optionally compressed) payload."""
+    payload = zlib.compress(record_bytes_image, 6) if compress else record_bytes_image
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _CHUNK_HEADER.pack(CHUNK_MAGIC, n_records, len(payload), crc) + payload
+
+
+def read_chunk_at(
+    buf: bytes | memoryview, offset: int, compressed: bool
+) -> tuple[bytes, int, int]:
+    """Read the chunk at *offset*.
+
+    Returns ``(record_bytes_image, n_records, next_offset)``.
+
+    Raises :class:`LogTruncatedError` if the chunk extends past the end of
+    the buffer and :class:`LogCorruptError` on a CRC mismatch.
+    """
+    end = offset + CHUNK_HEADER_BYTES
+    if end > len(buf):
+        raise LogTruncatedError("chunk header extends past end of file")
+    magic, n_records, payload_bytes, crc = _CHUNK_HEADER.unpack_from(buf, offset)
+    if magic != CHUNK_MAGIC:
+        raise LogFormatError(f"expected chunk at offset {offset}, found {magic!r}")
+    if end + payload_bytes > len(buf):
+        raise LogTruncatedError("chunk payload extends past end of file")
+    payload = bytes(buf[end : end + payload_bytes])
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise LogCorruptError(f"chunk at offset {offset} failed CRC check")
+    image = zlib.decompress(payload) if compressed else payload
+    if len(image) != n_records * RECORD_BYTES:
+        raise LogCorruptError(
+            f"chunk at offset {offset} declares {n_records} records but "
+            f"payload decodes to {len(image)} bytes"
+        )
+    return image, n_records, end + payload_bytes
+
+
+def pack_index(chunks: list[ChunkInfo]) -> bytes:
+    """Serialize the chunk index (offset, count, time envelope per chunk)."""
+    parts = [_INDEX_HEADER.pack(INDEX_MAGIC, len(chunks))]
+    parts.extend(
+        _INDEX_ENTRY.pack(c.offset, c.n_records, c.t_min, c.t_max) for c in chunks
+    )
+    return b"".join(parts)
+
+
+def unpack_index(buf: bytes | memoryview, offset: int) -> list[ChunkInfo]:
+    """Parse the chunk index at *offset*."""
+    if offset + _INDEX_HEADER.size > len(buf):
+        raise LogTruncatedError("index header extends past end of file")
+    magic, n_chunks = _INDEX_HEADER.unpack_from(buf, offset)
+    if magic != INDEX_MAGIC:
+        raise LogFormatError(f"expected index at offset {offset}, found {magic!r}")
+    pos = offset + _INDEX_HEADER.size
+    need = pos + n_chunks * _INDEX_ENTRY.size
+    if need > len(buf):
+        raise LogTruncatedError("index entries extend past end of file")
+    chunks = []
+    for _ in range(n_chunks):
+        off, n, tmin, tmax = _INDEX_ENTRY.unpack_from(buf, pos)
+        chunks.append(ChunkInfo(offset=off, n_records=n, t_min=tmin, t_max=tmax))
+        pos += _INDEX_ENTRY.size
+    return chunks
+
+
+def pack_trailer(index_offset: int, total_records: int) -> bytes:
+    """Serialize the 20-byte trailer locating the index."""
+    return _TRAILER.pack(index_offset, total_records, TRAILER_MAGIC)
+
+
+def unpack_trailer(buf: bytes | memoryview) -> tuple[int, int] | None:
+    """Parse the trailer; returns ``(index_offset, total_records)`` or
+    ``None`` if the file has no valid trailer (truncated write)."""
+    if len(buf) < HEADER_BYTES + TRAILER_BYTES:
+        return None
+    index_offset, total_records, magic = _TRAILER.unpack_from(
+        buf, len(buf) - TRAILER_BYTES
+    )
+    if magic != TRAILER_MAGIC:
+        return None
+    if index_offset < HEADER_BYTES or index_offset > len(buf) - TRAILER_BYTES:
+        return None
+    return index_offset, total_records

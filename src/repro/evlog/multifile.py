@@ -1,0 +1,117 @@
+"""Per-rank log directories and batched multi-file iteration.
+
+A distributed run produces one EVL file per rank ("this scenario generates
+64 log files which can then be easily loaded ... in an iterative or batch
+fashion").  :class:`LogSet` wraps such a directory and reproduces the
+paper's batch processing: the synthesis script processes "batches of 16
+files at a time", each batch independent of the others.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import LogFormatError
+from .reader import LogReader
+from .schema import LogRecordArray, empty_records
+from .writer import CachedLogWriter
+
+__all__ = ["LogSet", "rank_log_path", "write_rank_logs"]
+
+_RANK_FILE_RE = re.compile(r"^rank_(\d+)\.evl$")
+
+
+def rank_log_path(directory: str | Path, rank: int) -> Path:
+    """Canonical per-rank log filename: ``rank_0007.evl``."""
+    return Path(directory) / f"rank_{rank:04d}.evl"
+
+
+def write_rank_logs(
+    directory: str | Path,
+    per_rank_records: Sequence[LogRecordArray],
+    cache_records: int = 10_000,
+    compress: bool = False,
+) -> list[Path]:
+    """Write one EVL file per rank from in-memory record arrays.
+
+    Convenience used by the serial engine and tests; the distributed engine
+    writes through per-rank :class:`CachedLogWriter` instances directly.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for rank, records in enumerate(per_rank_records):
+        path = rank_log_path(directory, rank)
+        with CachedLogWriter(
+            path, rank=rank, cache_records=cache_records, compress=compress
+        ) as writer:
+            writer.log_batch(records)
+        paths.append(path)
+    return paths
+
+
+class LogSet:
+    """A directory of per-rank EVL files.
+
+    Files are discovered by the ``rank_NNNN.evl`` pattern and ordered by
+    rank.  All multi-file reads are per-file (bounded memory) unless the
+    caller asks for a concatenated load.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise LogFormatError(f"{self.directory} is not a directory")
+        found: list[tuple[int, Path]] = []
+        for path in self.directory.iterdir():
+            m = _RANK_FILE_RE.match(path.name)
+            if m:
+                found.append((int(m.group(1)), path))
+        found.sort()
+        if not found:
+            raise LogFormatError(f"no rank_NNNN.evl files in {self.directory}")
+        self.paths = [p for _, p in found]
+        self.ranks = [r for r, _ in found]
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def reader(self, index: int) -> LogReader:
+        return LogReader(self.paths[index])
+
+    def iter_readers(self) -> Iterator[LogReader]:
+        for path in self.paths:
+            yield LogReader(path)
+
+    def batches(self, batch_size: int) -> Iterator[list[Path]]:
+        """File batches, the paper's unit of independent synthesis jobs."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        for i in range(0, len(self.paths), batch_size):
+            yield self.paths[i : i + batch_size]
+
+    def total_records(self) -> int:
+        return sum(r.n_records for r in self.iter_readers())
+
+    def total_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.paths)
+
+    def read_all(self) -> LogRecordArray:
+        """Concatenate every record from every rank file."""
+        parts = [r.read_all() for r in self.iter_readers()]
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return empty_records(0)
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def read_time_slice(self, t0: int, t1: int) -> LogRecordArray:
+        """Time-sliced records across all rank files."""
+        parts = [r.read_time_slice(t0, t1) for r in self.iter_readers()]
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return empty_records(0)
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]

@@ -1,0 +1,200 @@
+"""Cached per-rank log writer.
+
+Mirrors the paper's logging architecture: "a static logger instance is
+created for each process ... Each logger stores entries in memory in a
+cache that is implemented as a 2D integer array.  The log cache size is
+variable although a nominal size of 10,000 log entries is used ... A
+smaller cache will reduce memory usage but will result in more individual
+write operations ... a larger cache will require more memory but will
+provide a speed tradeoff as fewer write operations are required."
+
+The cache here is literally a ``(cache_records, 5)`` uint32 array; a full
+cache is framed as one chunk and appended to the file in a single write,
+the EVL equivalent of HDF5's chunked dataset append.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import TracebackType
+
+import numpy as np
+
+from ..errors import LogFormatError
+from .format import ChunkInfo, pack_chunk, pack_header, pack_index, pack_trailer
+from .schema import LOG_DTYPE, LOG_FIELDS, RECORD_BYTES, LogRecordArray
+
+__all__ = ["CachedLogWriter", "WriterStats"]
+
+DEFAULT_CACHE_RECORDS = 10_000
+
+
+@dataclass
+class WriterStats:
+    """Observable cost counters for the cache-size tradeoff experiments."""
+
+    records: int = 0
+    flushes: int = 0
+    bytes_written: int = 0
+    cache_records: int = 0
+    cache_bytes: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.cache_bytes = self.cache_records * RECORD_BYTES
+
+
+class CachedLogWriter:
+    """Append-only EVL writer with a bounded in-memory record cache.
+
+    Parameters
+    ----------
+    path:
+        Output file; created/truncated on open.
+    rank:
+        Id of the owning process, stored in the header (one file per rank).
+    cache_records:
+        Cache capacity in records; a full cache triggers one chunk write.
+    compress:
+        zlib-compress chunk payloads (smaller files, more CPU).
+
+    Use as a context manager; the index and trailer are written on
+    :meth:`close`.  A writer that dies before ``close`` leaves a file that
+    :class:`~repro.evlog.reader.LogReader` can still recover chunk-by-chunk.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        rank: int = 0,
+        cache_records: int = DEFAULT_CACHE_RECORDS,
+        compress: bool = False,
+    ) -> None:
+        if cache_records < 1:
+            raise LogFormatError("cache_records must be >= 1")
+        if rank < 0:
+            raise LogFormatError("rank must be >= 0")
+        self.path = Path(path)
+        self.rank = rank
+        self.compress = compress
+        self.cache_records = cache_records
+        self._cache = np.empty((cache_records, len(LOG_FIELDS)), dtype=np.uint32)
+        self._fill = 0
+        self._chunks: list[ChunkInfo] = []
+        self._file: io.BufferedWriter | None = self.path.open("wb")
+        self._offset = 0
+        self.stats = WriterStats(cache_records=cache_records)
+        self._write(pack_header(rank, compress))
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _write(self, buf: bytes) -> None:
+        assert self._file is not None
+        self._file.write(buf)
+        self._offset += len(buf)
+        self.stats.bytes_written += len(buf)
+
+    def _require_open(self) -> None:
+        if self._file is None:
+            raise LogFormatError(f"writer for {self.path} is closed")
+
+    # -- logging API --------------------------------------------------------
+
+    def log(
+        self, start: int, stop: int, person: int, activity: int, place: int
+    ) -> None:
+        """Append one activity-change record (hot path, scalar)."""
+        self._require_open()
+        if stop <= start:
+            raise LogFormatError(f"stop ({stop}) must exceed start ({start})")
+        row = self._cache[self._fill]
+        row[0] = start
+        row[1] = stop
+        row[2] = person
+        row[3] = activity
+        row[4] = place
+        self._fill += 1
+        self.stats.records += 1
+        if self._fill == self.cache_records:
+            self.flush()
+
+    def log_batch(self, records: LogRecordArray) -> None:
+        """Append a validated structured record array (vectorized path).
+
+        Fills the cache in slices so flush boundaries behave exactly as if
+        the records had been logged one by one.
+        """
+        self._require_open()
+        records = np.asarray(records)
+        if records.dtype != LOG_DTYPE:
+            raise LogFormatError(
+                f"log_batch expects dtype {LOG_DTYPE}, got {records.dtype}"
+            )
+        flat = (
+            np.ascontiguousarray(records)
+            .view(np.uint32)
+            .reshape(-1, len(LOG_FIELDS))
+        )
+        pos = 0
+        n = len(flat)
+        while pos < n:
+            take = min(n - pos, self.cache_records - self._fill)
+            self._cache[self._fill : self._fill + take] = flat[pos : pos + take]
+            self._fill += take
+            pos += take
+            self.stats.records += take
+            if self._fill == self.cache_records:
+                self.flush()
+
+    def flush(self) -> None:
+        """Write the cached records (if any) as one chunk."""
+        self._require_open()
+        if self._fill == 0:
+            return
+        block = self._cache[: self._fill]
+        image = np.ascontiguousarray(block).tobytes()
+        t_min = int(block[:, 0].min())
+        t_max = int(block[:, 1].max())
+        chunk_offset = self._offset
+        self._write(pack_chunk(image, self._fill, self.compress))
+        self._chunks.append(
+            ChunkInfo(
+                offset=chunk_offset,
+                n_records=self._fill,
+                t_min=t_min,
+                t_max=t_max,
+            )
+        )
+        self.stats.flushes += 1
+        self._fill = 0
+
+    def close(self) -> WriterStats:
+        """Flush, write index + trailer, and close the file."""
+        if self._file is None:
+            return self.stats
+        self.flush()
+        index_offset = self._offset
+        self._write(pack_index(self._chunks))
+        self._write(pack_trailer(index_offset, self.stats.records))
+        self._file.close()
+        self._file = None
+        return self.stats
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "CachedLogWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if exc_type is None:
+            self.close()
+        elif self._file is not None:
+            # on error, leave a truncated-but-recoverable file
+            self._file.close()
+            self._file = None

@@ -1,0 +1,36 @@
+"""Synthetic random network generators — the paper's conclusion baseline.
+
+The conclusions discuss whether "generated random scale-free or power-law
+networks" can stand in for empirically-grounded social networks: "Random
+synthetic networks could be a starting point for a realistic social
+interaction network model, but would need to be tailored to capture the
+more complex structure in the vertex degree distribution graphs presented
+in this paper."
+
+This subpackage implements the generator families the paper references —
+Watts–Strogatz small-world [4], Barabási–Albert scale-free [19],
+Dangalchev's two-level network model [24] — plus a configuration-model
+generator that matches an *observed* degree sequence exactly.  All return
+upper-triangular sparse adjacencies compatible with
+:class:`repro.core.network.CollocationNetwork`, so every analysis in
+:mod:`repro.analysis` runs on them unchanged; the ABL-GEN benchmark
+quantifies exactly which chiSIM features each family fails to capture.
+"""
+
+from .models import (
+    barabasi_albert,
+    watts_strogatz,
+    dangalchev,
+    configuration_model,
+    erdos_renyi,
+    as_network,
+)
+
+__all__ = [
+    "barabasi_albert",
+    "watts_strogatz",
+    "dangalchev",
+    "configuration_model",
+    "erdos_renyi",
+    "as_network",
+]

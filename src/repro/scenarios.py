@@ -1,0 +1,96 @@
+"""Preset experiment scenarios.
+
+Named, documented configurations so experiments are reproducible by name
+rather than by a bag of numbers.  ``paper`` is the scenario of record
+(don't run it on a laptop); the laptop tiers trade fidelity for wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import HOURS_PER_WEEK, ScaleConfig, SimulationConfig
+from .errors import ConfigError
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named world + run configuration."""
+
+    name: str
+    description: str
+    scale: ScaleConfig
+    duration_hours: int
+    n_ranks: int
+
+    def simulation_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            scale=self.scale,
+            duration_hours=self.duration_hours,
+            n_ranks=self.n_ranks,
+        )
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            name="smoke",
+            description="seconds-scale CI smoke test (1 k persons, 1 week, 2 ranks)",
+            scale=ScaleConfig(n_persons=1_000, seed=1),
+            duration_hours=HOURS_PER_WEEK,
+            n_ranks=2,
+        ),
+        Scenario(
+            name="laptop",
+            description="default laptop experiment (10 k persons, 1 week, 8 ranks)",
+            scale=ScaleConfig(n_persons=10_000, seed=42),
+            duration_hours=HOURS_PER_WEEK,
+            n_ranks=8,
+        ),
+        Scenario(
+            name="bench",
+            description="the benchmark world of EXPERIMENTS.md (6 k persons, seed 2017)",
+            scale=ScaleConfig(n_persons=6_000, seed=2017),
+            duration_hours=HOURS_PER_WEEK,
+            n_ranks=8,
+        ),
+        Scenario(
+            name="laptop-4wk",
+            description="the paper's 4-week duration at laptop scale",
+            scale=ScaleConfig(n_persons=10_000, seed=42),
+            duration_hours=4 * HOURS_PER_WEEK,
+            n_ranks=8,
+        ),
+        Scenario(
+            name="workstation",
+            description="large shared-memory box (100 k persons, 4 weeks, 32 ranks)",
+            scale=ScaleConfig(n_persons=100_000, seed=42),
+            duration_hours=4 * HOURS_PER_WEEK,
+            n_ranks=32,
+        ),
+        Scenario(
+            name="paper",
+            description=(
+                "the paper's scenario of record: 2.9 M persons, 4 weeks, "
+                "256 ranks (requires cluster-class memory)"
+            ),
+            scale=ScaleConfig(n_persons=2_900_000, seed=42),
+            duration_hours=4 * HOURS_PER_WEEK,
+            n_ranks=256,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name; lists the options on a miss."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        options = ", ".join(sorted(SCENARIOS))
+        raise ConfigError(
+            f"unknown scenario {name!r}; available: {options}"
+        ) from None

@@ -1,0 +1,56 @@
+"""The chiSIM-like agent-based model.
+
+chiSIM "simulates individual agents within fine-grained spatial location
+compartments associated with daily activities and places ... At each
+simulation time step (1 hour) each agent decides their next activity for
+that hour and the associated location.  Agents move from location to
+location and interact with other agents at the new location."
+
+This subpackage provides:
+
+* :mod:`repro.sim.events` — vectorized conversion between hourly schedule
+  grids and event-log records (the "only log changes" rule of Section III);
+* :mod:`repro.sim.engine` — the serial reference engine, stepping one hour
+  at a time, emitting activity-change events and driving optional dynamics;
+* :mod:`repro.sim.disease` — the SEIR transmission layer chiSIM
+  generalizes ("an extension of an infectious disease transmission model"),
+  including the transmission-pair log used to trace back to patient zero;
+* :mod:`repro.sim.observers` — aggregate per-tick metrics (the
+  "aggregate metrics and statistics such as disease incidence" the paper
+  contrasts with full network analysis).
+
+The distributed engine lives in :mod:`repro.distrib` and reuses the same
+event semantics; serial-vs-distributed equivalence is a test invariant.
+"""
+
+from .events import grid_to_events, events_to_grid, OpenSpells
+from .engine import Simulation, SimulationResult
+from .disease import DiseaseModel, DiseaseState, TransmissionRecord
+from .observers import Observer, PrevalenceObserver, OccupancyObserver, MovementObserver
+from .interventions import (
+    Intervention,
+    CloseSchools,
+    ClosePlaceKind,
+    StayHomeOrder,
+    InterventionSchedule,
+)
+
+__all__ = [
+    "grid_to_events",
+    "events_to_grid",
+    "OpenSpells",
+    "Simulation",
+    "SimulationResult",
+    "DiseaseModel",
+    "DiseaseState",
+    "TransmissionRecord",
+    "Observer",
+    "PrevalenceObserver",
+    "OccupancyObserver",
+    "MovementObserver",
+    "Intervention",
+    "CloseSchools",
+    "ClosePlaceKind",
+    "StayHomeOrder",
+    "InterventionSchedule",
+]

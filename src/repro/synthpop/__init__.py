@@ -1,0 +1,48 @@
+"""Synthetic Chicago-like population substrate.
+
+The paper's chiSIM model consumes ~800 MB of census-derived input files for
+persons, places, and activities.  Those files are not publicly available, so
+this subpackage *generates* a population with the same statistical mechanisms
+that shape the paper's results:
+
+* households of realistic size (small, fully-connected nightly cliques);
+* schools with capacity caps and classroom sub-compartments (the paper
+  attributes the flat 0-14 degree distribution directly to these caps);
+* workplaces with a heavy-tailed size distribution;
+* a pool of "other" gathering places (shops, restaurants, transit) that
+  create weak ties across households;
+* hourly weekly activity schedules averaging ~5 activity changes per
+  person-day (the figure the paper uses to size its event logs).
+
+Everything is deterministic from a single integer seed.
+"""
+
+from .person import NO_PLACE, PersonTable
+from .places import PlaceKind, PlaceTable
+from .household import HouseholdPlan, generate_households
+from .assignment import assign_schools, assign_workplaces, assign_favorites
+from .schedule import Activity, ACTIVITY_NAMES, WeeklyScheduleGenerator
+from .generator import SyntheticPopulation, generate_population
+from .io import save_population, load_population
+from .validation import ValidationReport, validate_population
+
+__all__ = [
+    "NO_PLACE",
+    "PersonTable",
+    "PlaceKind",
+    "PlaceTable",
+    "HouseholdPlan",
+    "generate_households",
+    "assign_schools",
+    "assign_workplaces",
+    "assign_favorites",
+    "Activity",
+    "ACTIVITY_NAMES",
+    "WeeklyScheduleGenerator",
+    "SyntheticPopulation",
+    "generate_population",
+    "save_population",
+    "load_population",
+    "ValidationReport",
+    "validate_population",
+]

@@ -1,0 +1,221 @@
+"""Top-level synthetic population builder.
+
+Produces a :class:`SyntheticPopulation` — the stand-in for chiSIM's ~800 MB
+of census-derived input files — from a :class:`~repro.config.ScaleConfig`
+and a seed.  The place id space is laid out in contiguous blocks::
+
+    [ homes | school classrooms | workplaces | other venues ]
+
+so that place kind can be recovered from an id by range checks, mirroring
+how the paper cross-references uint32 log ids back to input tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ScaleConfig, ScheduleConfig
+from ..errors import PopulationError
+from .assignment import (
+    assign_favorites,
+    assign_schools,
+    assign_workplaces,
+)
+from .household import generate_households
+from .person import NO_PLACE, PersonTable
+from .places import PlaceKind, PlaceTable, scatter_city_coords
+from .schedule import WeeklyScheduleGenerator
+
+__all__ = ["SyntheticPopulation", "generate_population"]
+
+
+@dataclass
+class SyntheticPopulation:
+    """A generated world: persons, places, and schedule generator inputs.
+
+    This plays the role of chiSIM's input data: "multiple files for
+    activities, persons, and locations".
+    """
+
+    scale: ScaleConfig
+    persons: PersonTable
+    places: PlaceTable
+    seed: int
+
+    def __post_init__(self) -> None:
+        self.persons.validate_against_places(len(self.places))
+
+    @property
+    def n_persons(self) -> int:
+        return len(self.persons)
+
+    @property
+    def n_places(self) -> int:
+        return len(self.places)
+
+    def schedule_generator(
+        self, config: ScheduleConfig | None = None
+    ) -> WeeklyScheduleGenerator:
+        """Build the weekly schedule generator for this population."""
+        return WeeklyScheduleGenerator(
+            self.persons, config or ScheduleConfig(), seed=self.seed
+        )
+
+    def summary(self) -> dict[str, int | float]:
+        """Census-style summary used by examples and experiment reports."""
+        persons = self.persons
+        groups = persons.age_group()
+        return {
+            "n_persons": self.n_persons,
+            "n_places": self.n_places,
+            **{
+                f"places_{k}": v for k, v in self.places.counts_by_kind().items()
+            },
+            "n_students": int(persons.is_student.sum()),
+            "n_employed": int(persons.is_employed.sum()),
+            "mean_age": float(persons.age.mean()),
+            **{
+                f"age_group_{i}": int(np.count_nonzero(groups == i))
+                for i in range(int(groups.max(initial=0)) + 1)
+            },
+        }
+
+
+def generate_population(
+    scale: ScaleConfig | None = None,
+    schedule: ScheduleConfig | None = None,
+    seed: int | None = None,
+) -> SyntheticPopulation:
+    """Generate a full synthetic population.
+
+    Parameters
+    ----------
+    scale:
+        World size; defaults to laptop scale (10 k persons).
+    schedule:
+        Used for the employment rate during workplace assignment.
+    seed:
+        Overrides ``scale.seed`` when given.
+    """
+    scale = scale or ScaleConfig()
+    schedule = schedule or ScheduleConfig()
+    seed = scale.seed if seed is None else seed
+    root = np.random.SeedSequence(seed)
+    (hh_ss, place_ss, school_ss, work_ss, fav_ss) = root.spawn(5)
+
+    plan = generate_households(scale, np.random.default_rng(hh_ss))
+    n_households = plan.n_households
+
+    place_rng = np.random.default_rng(place_ss)
+
+    # --- place coordinate + capacity blocks -------------------------------
+    home_x, home_y = scatter_city_coords(n_households, scale.city_km, place_rng)
+    home_cap = plan.sizes.astype(np.uint32)
+
+    n_schools = scale.n_schools
+    school_x, school_y = scatter_city_coords(n_schools, scale.city_km, place_rng)
+    classes_per_school = max(1, -(-scale.school_capacity // scale.classroom_size))
+
+    n_work = scale.n_workplaces
+    work_x, work_y = scatter_city_coords(n_work, scale.city_km, place_rng)
+    # heavy-tailed firm sizes (log-normal), the usual empirical shape
+    work_attract = place_rng.lognormal(mean=2.0, sigma=1.1, size=n_work)
+    work_cap = np.maximum(1, work_attract).astype(np.uint32)
+
+    n_other = scale.n_other_places
+    other_x, other_y = scatter_city_coords(n_other, scale.city_km, place_rng)
+    # venues have an even heavier tail (transit hubs, big-box stores)
+    other_attract = place_rng.lognormal(mean=2.0, sigma=0.9, size=n_other)
+    other_cap = np.maximum(1, other_attract).astype(np.uint32)
+
+    # --- id layout ---------------------------------------------------------
+    school_offset = n_households
+    n_classrooms = n_schools * classes_per_school
+    work_offset = school_offset + n_classrooms
+    other_offset = work_offset + n_work
+    n_places = other_offset + n_other
+
+    kind = np.empty(n_places, dtype=np.uint8)
+    x = np.empty(n_places, dtype=np.float32)
+    y = np.empty(n_places, dtype=np.float32)
+    capacity = np.empty(n_places, dtype=np.uint32)
+
+    kind[:school_offset] = int(PlaceKind.HOME)
+    x[:school_offset], y[:school_offset] = home_x, home_y
+    capacity[:school_offset] = home_cap
+
+    kind[school_offset:work_offset] = int(PlaceKind.SCHOOL)
+    x[school_offset:work_offset] = np.repeat(school_x, classes_per_school)
+    y[school_offset:work_offset] = np.repeat(school_y, classes_per_school)
+    capacity[school_offset:work_offset] = scale.classroom_size
+
+    kind[work_offset:other_offset] = int(PlaceKind.WORKPLACE)
+    x[work_offset:other_offset], y[work_offset:other_offset] = work_x, work_y
+    capacity[work_offset:other_offset] = work_cap
+
+    kind[other_offset:] = int(PlaceKind.OTHER)
+    x[other_offset:], y[other_offset:] = other_x, other_y
+    capacity[other_offset:] = other_cap
+
+    places = PlaceTable(kind=kind, x=x, y=y, capacity=capacity)
+
+    # --- person assignments -------------------------------------------------
+    person_home_xy = np.stack(
+        [home_x[plan.person_household], home_y[plan.person_household]], axis=1
+    ).astype(np.float64)
+
+    building, classroom = assign_schools(
+        plan.ages,
+        person_home_xy,
+        np.stack([school_x, school_y], axis=1).astype(np.float64),
+        scale.school_capacity,
+        scale.classroom_size,
+        np.random.default_rng(school_ss),
+    )
+    school = np.full(plan.n_persons, NO_PLACE, dtype=np.uint32)
+    has_school = building >= 0
+    clamped_class = np.minimum(classroom[has_school], classes_per_school - 1)
+    school[has_school] = (
+        school_offset
+        + building[has_school] * classes_per_school
+        + clamped_class
+    ).astype(np.uint32)
+
+    workplace_ids = np.arange(work_offset, other_offset, dtype=np.uint32)
+    workplace = assign_workplaces(
+        plan.ages,
+        person_home_xy,
+        workplace_ids,
+        np.stack([work_x, work_y], axis=1).astype(np.float64),
+        work_attract,
+        schedule.employment_rate,
+        np.random.default_rng(work_ss),
+    )
+    # students are not also employed (keeps schedules conflict-free)
+    workplace[school != NO_PLACE] = NO_PLACE
+
+    other_ids = np.arange(other_offset, n_places, dtype=np.uint32)
+    favorites = assign_favorites(
+        person_home_xy,
+        other_ids,
+        np.stack([other_x, other_y], axis=1).astype(np.float64),
+        other_attract,
+        schedule.favorite_places,
+        np.random.default_rng(fav_ss),
+    )
+
+    persons = PersonTable(
+        age=plan.ages,
+        household=plan.person_household.astype(np.uint32),
+        school=school,
+        workplace=workplace,
+        favorites=favorites,
+    )
+    pop = SyntheticPopulation(scale=scale, persons=persons, places=places, seed=seed)
+    if pop.n_persons != scale.n_persons:
+        raise PopulationError(
+            f"generated {pop.n_persons} persons, expected {scale.n_persons}"
+        )
+    return pop

@@ -1,0 +1,151 @@
+"""Household generation: sizes, composition, and ages.
+
+Households are the nightly cliques of the collocation network — everyone in
+a household is collocated for every home hour — so their size distribution
+directly shapes the low-degree head of the paper's Figure 3 (degrees 1-7
+each hold ~10^5 persons at Chicago scale, which is what a household-size
+mixture produces).
+
+Sizes are drawn as ``1 + Poisson(mean - 1)`` capped at ``MAX_HOUSEHOLD``,
+which hits the configured mean household size almost exactly while staying
+vectorized.  Composition assigns adults first (one or two, occasionally a
+senior household) and fills the remainder with children, producing a
+Chicago-like age pyramid (~19% aged 0-14, ~13% aged 65+).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ScaleConfig
+from ..errors import PopulationError
+
+__all__ = ["HouseholdPlan", "generate_households", "MAX_HOUSEHOLD"]
+
+MAX_HOUSEHOLD = 8
+
+#: probability a multi-person household has two resident adults
+TWO_ADULT_PROB = 0.62
+#: probability a household is headed by seniors (65+)
+SENIOR_HH_PROB = 0.17
+
+
+@dataclass
+class HouseholdPlan:
+    """Output of household generation.
+
+    Attributes
+    ----------
+    sizes:
+        ``int64`` members per household; ``sizes.sum() == n_persons``.
+    person_household:
+        ``uint32`` household index per person.
+    ages:
+        ``uint8`` age per person.
+    """
+
+    sizes: np.ndarray
+    person_household: np.ndarray
+    ages: np.ndarray
+
+    @property
+    def n_households(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def n_persons(self) -> int:
+        return len(self.ages)
+
+
+def _sample_sizes(n_persons: int, mean: float, rng: np.random.Generator) -> np.ndarray:
+    """Sample household sizes summing exactly to ``n_persons``."""
+    if n_persons <= 0:
+        raise PopulationError("population must have at least one person")
+    est_households = max(1, int(n_persons / mean * 1.2) + 8)
+    sizes = 1 + rng.poisson(mean - 1.0, est_households)
+    np.clip(sizes, 1, MAX_HOUSEHOLD, out=sizes)
+    cum = np.cumsum(sizes)
+    cut = int(np.searchsorted(cum, n_persons))
+    if cut >= len(sizes):  # pragma: no cover - est_households has 20% slack
+        raise PopulationError("household size sampling under-allocated")
+    sizes = sizes[: cut + 1].astype(np.int64)
+    # trim the last household so the total is exact
+    excess = int(sizes.sum()) - n_persons
+    sizes[-1] -= excess
+    if sizes[-1] <= 0:
+        sizes = sizes[:-1]
+        deficit = n_persons - int(sizes.sum())
+        if deficit > 0:
+            sizes = np.concatenate([sizes, [deficit]])
+    assert int(sizes.sum()) == n_persons
+    return sizes
+
+
+def _sample_ages(
+    sizes: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assign ages per person given household sizes.
+
+    Returns ``(ages, person_household)``.
+    """
+    n_households = len(sizes)
+    n_persons = int(sizes.sum())
+    person_household = np.repeat(
+        np.arange(n_households, dtype=np.uint32), sizes
+    )
+
+    senior_hh = rng.random(n_households) < SENIOR_HH_PROB
+    two_adults = (sizes >= 2) & (rng.random(n_households) < TWO_ADULT_PROB)
+    n_adults_hh = np.where(two_adults, 2, 1)
+    # children slots are whatever is left after the adults
+    n_children_hh = sizes - n_adults_hh
+    # seniors rarely have resident children; convert those slots to more
+    # senior adults (e.g. multigenerational or group living)
+    extra_senior_adults = np.where(senior_hh, n_children_hh, 0)
+    n_children_hh = np.where(senior_hh, 0, n_children_hh)
+    n_adults_hh = n_adults_hh + extra_senior_adults
+
+    # Build a per-person "is_child" mask: within each household the first
+    # n_adults slots are adults, the rest children.
+    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    slot_in_household = np.arange(n_persons) - offsets[person_household]
+    is_child = slot_in_household >= n_adults_hh[person_household]
+    hh_is_senior = senior_hh[person_household]
+
+    ages = np.empty(n_persons, dtype=np.int64)
+
+    # Children: uniform-ish 0-18 with a slight skew toward younger ages.
+    n_child = int(is_child.sum())
+    if n_child:
+        ages[is_child] = np.minimum(
+            rng.integers(0, 19, n_child), rng.integers(0, 19, n_child)
+        ) + rng.integers(0, 7, n_child)
+        np.clip(ages, 0, 18, out=ages, where=is_child)
+
+    # Senior adults: 65-95 with declining tail.
+    senior_adult = (~is_child) & hh_is_senior
+    n_senior = int(senior_adult.sum())
+    if n_senior:
+        ages[senior_adult] = 65 + np.minimum(
+            rng.exponential(9.0, n_senior).astype(np.int64), 30
+        )
+
+    # Working-age adults: 19-64, weighted toward 25-45 (parents of children).
+    adult = (~is_child) & ~hh_is_senior
+    n_adult = int(adult.sum())
+    if n_adult:
+        base = rng.triangular(19, 33, 65, n_adult).astype(np.int64)
+        ages[adult] = np.clip(base, 19, 64)
+
+    return ages.astype(np.uint8), person_household
+
+
+def generate_households(
+    scale: ScaleConfig, rng: np.random.Generator
+) -> HouseholdPlan:
+    """Generate households and person ages for a :class:`ScaleConfig`."""
+    sizes = _sample_sizes(scale.n_persons, scale.mean_household_size, rng)
+    ages, person_household = _sample_ages(sizes, rng)
+    return HouseholdPlan(sizes=sizes, person_household=person_household, ages=ages)

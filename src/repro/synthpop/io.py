@@ -1,0 +1,81 @@
+"""Population persistence (npz).
+
+The paper's input data lives in flat files totalling ~800 MB; we persist the
+synthetic equivalent as a single compressed ``.npz`` so examples and
+benchmarks can reuse a generated world instead of regenerating it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..config import ScaleConfig
+from ..errors import PopulationError
+from .generator import SyntheticPopulation
+from .person import PersonTable
+from .places import PlaceTable
+
+__all__ = ["save_population", "load_population"]
+
+_FORMAT_VERSION = 1
+
+
+def save_population(pop: SyntheticPopulation, path: str | Path) -> Path:
+    """Write a population to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "version": _FORMAT_VERSION,
+        "seed": pop.seed,
+        "scale": asdict(pop.scale),
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        person_age=pop.persons.age,
+        person_household=pop.persons.household,
+        person_school=pop.persons.school,
+        person_workplace=pop.persons.workplace,
+        person_favorites=pop.persons.favorites,
+        place_kind=pop.places.kind,
+        place_x=pop.places.x,
+        place_y=pop.places.y,
+        place_capacity=pop.places.capacity,
+    )
+    return path
+
+
+def load_population(path: str | Path) -> SyntheticPopulation:
+    """Load a population previously written by :func:`save_population`."""
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            if meta.get("version") != _FORMAT_VERSION:
+                raise PopulationError(
+                    f"unsupported population file version {meta.get('version')}"
+                )
+            persons = PersonTable(
+                age=data["person_age"],
+                household=data["person_household"],
+                school=data["person_school"],
+                workplace=data["person_workplace"],
+                favorites=data["person_favorites"],
+            )
+            places = PlaceTable(
+                kind=data["place_kind"],
+                x=data["place_x"],
+                y=data["place_y"],
+                capacity=data["place_capacity"],
+            )
+            scale = ScaleConfig(**meta["scale"])
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise PopulationError(f"invalid population file {path}: {exc}") from exc
+    return SyntheticPopulation(
+        scale=scale, persons=persons, places=places, seed=meta["seed"]
+    )

@@ -1,0 +1,128 @@
+"""Columnar person table.
+
+Persons are stored as parallel numpy arrays (a struct-of-arrays layout)
+rather than Python objects: at the paper's scale (2.9 M persons) an object
+per person is untenable, and every consumer of this table — schedule
+generation, the simulation engine, demographic sub-setting — operates on
+whole columns at once.
+
+Person ids are implicit row indices, matching the paper's log schema where
+the person field of a log record is a uint32 id cross-referenced back to the
+model input data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import AGE_GROUPS
+from ..errors import PopulationError
+
+__all__ = ["NO_PLACE", "PersonTable"]
+
+#: Sentinel place id meaning "no such place" (no school / not employed).
+#: Chosen as the max uint32 so real place ids can use the full range below it.
+NO_PLACE = np.uint32(0xFFFFFFFF)
+
+
+@dataclass
+class PersonTable:
+    """Struct-of-arrays person table.
+
+    Attributes
+    ----------
+    age:
+        ``uint8`` age in years.
+    household:
+        ``uint32`` place id of the person's home.
+    school:
+        ``uint32`` place id of the person's school, or :data:`NO_PLACE`.
+    workplace:
+        ``uint32`` place id of the person's workplace, or :data:`NO_PLACE`.
+    favorites:
+        ``uint32`` array of shape ``(n, k)`` — the k "other" places the
+        person rotates among for errands and leisure.
+    """
+
+    age: np.ndarray
+    household: np.ndarray
+    school: np.ndarray
+    workplace: np.ndarray
+    favorites: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.age)
+        for name in ("household", "school", "workplace"):
+            col = getattr(self, name)
+            if col.shape != (n,):
+                raise PopulationError(
+                    f"column {name!r} has shape {col.shape}, expected ({n},)"
+                )
+        if self.favorites.ndim != 2 or self.favorites.shape[0] != n:
+            raise PopulationError(
+                f"favorites must be (n, k), got {self.favorites.shape}"
+            )
+        self.age = self.age.astype(np.uint8, copy=False)
+        for name in ("household", "school", "workplace", "favorites"):
+            setattr(
+                self, name, getattr(self, name).astype(np.uint32, copy=False)
+            )
+
+    def __len__(self) -> int:
+        return len(self.age)
+
+    @property
+    def n_persons(self) -> int:
+        return len(self.age)
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Person ids (the row indices), as uint32."""
+        return np.arange(len(self), dtype=np.uint32)
+
+    @property
+    def is_student(self) -> np.ndarray:
+        return self.school != NO_PLACE
+
+    @property
+    def is_employed(self) -> np.ndarray:
+        return self.workplace != NO_PLACE
+
+    def age_group(self) -> np.ndarray:
+        """Index into :data:`repro.config.AGE_GROUPS` per person (uint8)."""
+        bins = np.array([hi for _, _, hi in AGE_GROUPS], dtype=np.int64)
+        grp = np.searchsorted(bins, self.age.astype(np.int64), side="left")
+        if grp.max(initial=0) >= len(AGE_GROUPS):
+            raise PopulationError("person age outside supported range")
+        return grp.astype(np.uint8)
+
+    def select(self, mask: np.ndarray) -> np.ndarray:
+        """Person ids matching a boolean mask (demographic sub-setting).
+
+        This is the query hook the paper describes for "filtering simulation
+        results via queries on the input data, e.g. ... persons matching
+        certain demographic criteria".
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise PopulationError(
+                f"mask shape {mask.shape} does not match population {len(self)}"
+            )
+        return np.flatnonzero(mask).astype(np.uint32)
+
+    def validate_against_places(self, n_places: int) -> None:
+        """Check that all referenced place ids exist (or are NO_PLACE)."""
+        for name in ("household",):
+            col = getattr(self, name)
+            if col.size and col.max() >= n_places:
+                raise PopulationError(f"{name} references unknown place id")
+        for name in ("school", "workplace"):
+            col = getattr(self, name)
+            real = col[col != NO_PLACE]
+            if real.size and real.max() >= n_places:
+                raise PopulationError(f"{name} references unknown place id")
+        fav = self.favorites
+        if fav.size and fav.max() >= n_places:
+            raise PopulationError("favorites reference unknown place id")

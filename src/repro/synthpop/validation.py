@@ -1,0 +1,139 @@
+"""Population plausibility validation.
+
+chiSIM's credibility rests on its input population being census-shaped;
+this module is the automated audit for our synthetic stand-in.  It checks
+structural integrity (references, coverage) and statistical plausibility
+(age pyramid, household sizes, enrollment/employment rates, schedule
+calibration) and returns human-readable findings instead of raising, so
+callers can decide severity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ScheduleConfig
+from .generator import SyntheticPopulation
+from .person import NO_PLACE
+from .places import PlaceKind
+
+__all__ = ["ValidationReport", "validate_population"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a population audit."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        lines = [f"population validation: {'OK' if self.ok else 'FAILED'}"]
+        for e in self.errors:
+            lines.append(f"  ERROR: {e}")
+        for w in self.warnings:
+            lines.append(f"  warn : {w}")
+        for k, v in self.metrics.items():
+            lines.append(f"  {k:>28}: {v:.3f}")
+        return "\n".join(lines)
+
+
+def validate_population(
+    pop: SyntheticPopulation,
+    schedule: ScheduleConfig | None = None,
+    check_schedules: bool = True,
+) -> ValidationReport:
+    """Audit a population for structural and statistical plausibility."""
+    report = ValidationReport()
+    persons, places = pop.persons, pop.places
+
+    # --- structural integrity -------------------------------------------------
+    try:
+        persons.validate_against_places(len(places))
+    except Exception as exc:  # noqa: BLE001 - converted to a finding
+        report.errors.append(f"reference integrity: {exc}")
+
+    counts = places.counts_by_kind()
+    for kind in ("home", "school", "workplace", "other"):
+        if counts.get(kind, 0) == 0:
+            report.errors.append(f"no places of kind {kind!r}")
+
+    hh_counts = np.bincount(persons.household, minlength=len(places))
+    homes = places.ids_of_kind(PlaceKind.HOME)
+    occupied = hh_counts[homes]
+    if (occupied == 0).any():
+        report.warnings.append(
+            f"{int((occupied == 0).sum())} home places have no residents"
+        )
+
+    # --- statistical plausibility ----------------------------------------------
+    ages = persons.age.astype(np.int64)
+    n = len(persons)
+    child_share = np.count_nonzero(ages <= 14) / n
+    senior_share = np.count_nonzero(ages >= 65) / n
+    report.metrics["child_share"] = child_share
+    report.metrics["senior_share"] = senior_share
+    if not 0.08 <= child_share <= 0.40:
+        report.warnings.append(
+            f"child share {child_share:.2f} outside census band 0.08-0.40"
+        )
+    if not 0.04 <= senior_share <= 0.35:
+        report.warnings.append(
+            f"senior share {senior_share:.2f} outside census band 0.04-0.35"
+        )
+
+    mean_hh = float(occupied[occupied > 0].mean()) if occupied.size else 0.0
+    report.metrics["mean_household_size"] = mean_hh
+    target = pop.scale.mean_household_size
+    if abs(mean_hh - target) > 0.4:
+        report.warnings.append(
+            f"mean household size {mean_hh:.2f} far from target {target}"
+        )
+
+    school_age = (ages >= 5) & (ages <= 18)
+    enrolled = persons.school != NO_PLACE
+    if school_age.any():
+        enrollment = float(enrolled[school_age].mean())
+        report.metrics["enrollment_rate"] = enrollment
+        if enrollment < 0.99:
+            report.errors.append(
+                f"only {enrollment:.1%} of school-age children enrolled"
+            )
+    if (enrolled & ~school_age).any():
+        report.errors.append("non-school-age persons enrolled in school")
+
+    adults = (ages >= 19) & (ages <= 64)
+    if adults.any():
+        emp = float((persons.workplace[adults] != NO_PLACE).mean())
+        report.metrics["adult_employment"] = emp
+        if not 0.3 <= emp <= 0.95:
+            report.warnings.append(
+                f"adult employment {emp:.2f} outside band 0.30-0.95"
+            )
+
+    # --- schedule calibration ----------------------------------------------------
+    if check_schedules:
+        gen = pop.schedule_generator(schedule)
+        grid = gen.week(0)
+        rate = grid.changes_per_person_day()
+        report.metrics["activity_changes_per_day"] = rate
+        if not 2.0 <= rate <= 7.0:
+            report.warnings.append(
+                f"schedule produces {rate:.2f} activity changes/day; the "
+                "paper sizes logs on ~5"
+            )
+        home_night = (
+            grid.place[:, 3] == persons.household
+        ).mean()  # 3 AM Monday
+        report.metrics["home_at_3am"] = float(home_night)
+        if home_night < 0.999:
+            report.errors.append("agents away from home at 3 AM")
+
+    return report

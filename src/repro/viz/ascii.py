@@ -1,0 +1,127 @@
+"""Terminal plots: log-log scatter, histograms, and time series.
+
+No plotting library is assumed offline, so the examples and benchmark
+reports render the paper's figures as text — good enough to eyeball the
+flat head / steep tail of Figure 3 and the C = 1 spike of Figure 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_loglog", "ascii_histogram", "ascii_series"]
+
+
+def _scatter_grid(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int,
+    height: int,
+    log_x: bool,
+    log_y: bool,
+    marks: str = "o",
+) -> tuple[list[list[str]], tuple[float, float], tuple[float, float]]:
+    good = (x > 0 if log_x else np.isfinite(x)) & (
+        y > 0 if log_y else np.isfinite(y)
+    )
+    x, y = x[good].astype(float), y[good].astype(float)
+    if len(x) == 0:
+        return [[" "] * width for _ in range(height)], (0, 1), (0, 1)
+    tx = np.log10(x) if log_x else x
+    ty = np.log10(y) if log_y else y
+    x_lo, x_hi = float(tx.min()), float(tx.max())
+    y_lo, y_hi = float(ty.min()), float(ty.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.clip(((tx - x_lo) / x_span * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(
+        ((ty - y_lo) / y_span * (height - 1)).astype(int), 0, height - 1
+    )
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = marks
+    return grid, (x_lo, x_hi), (y_lo, y_hi)
+
+
+def ascii_loglog(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+    overlays: list[tuple[np.ndarray, np.ndarray, str]] | None = None,
+) -> str:
+    """Log-log scatter plot; ``overlays`` adds (x, y, mark) series (e.g.
+    the fitted curves of Figure 3)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    grid, (x_lo, x_hi), (y_lo, y_hi) = _scatter_grid(
+        x, y, width, height, log_x=True, log_y=True
+    )
+    for ox, oy, mark in overlays or []:
+        ox, oy = np.asarray(ox, dtype=float), np.asarray(oy, dtype=float)
+        good = (ox > 0) & (oy > 0)
+        ox, oy = ox[good], oy[good]
+        if len(ox) == 0:
+            continue
+        tx, ty = np.log10(ox), np.log10(oy)
+        inside = (tx >= x_lo) & (tx <= x_hi) & (ty >= y_lo) & (ty <= y_hi)
+        tx, ty = tx[inside], ty[inside]
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        cols = np.clip(((tx - x_lo) / x_span * (width - 1)).astype(int), 0, width - 1)
+        rows = np.clip(((ty - y_lo) / y_span * (height - 1)).astype(int), 0, height - 1)
+        for c, r in zip(cols, rows):
+            if grid[height - 1 - r][c] == " ":
+                grid[height - 1 - r][c] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  10^{y_hi:.1f} +" + "-" * width)
+    for row in grid:
+        lines.append("         |" + "".join(row))
+    lines.append(f"  10^{y_lo:.1f} +" + "-" * width)
+    lines.append(f"          10^{x_lo:.1f}" + " " * max(0, width - 16) + f"10^{x_hi:.1f}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    edges: np.ndarray,
+    counts: np.ndarray,
+    width: int = 50,
+    title: str = "",
+    log_counts: bool = False,
+) -> str:
+    """Horizontal bar histogram (Figure 4 style)."""
+    counts = np.asarray(counts, dtype=float)
+    lines = [title] if title else []
+    if len(counts) == 0:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    vals = np.log10(counts + 1) if log_counts else counts
+    top = vals.max() or 1.0
+    for i, c in enumerate(counts):
+        lo, hi = edges[i], edges[i + 1]
+        bar = "#" * int(round(vals[i] / top * width))
+        lines.append(f"  [{lo:5.2f},{hi:5.2f})  {bar} {int(c)}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    values: np.ndarray, width: int = 64, height: int = 12, title: str = ""
+) -> str:
+    """Line-ish plot of a time series (e.g. epidemic prevalence)."""
+    values = np.asarray(values, dtype=float)
+    x = np.arange(len(values), dtype=float) + 1.0
+    grid, _, (y_lo, y_hi) = _scatter_grid(
+        x, values, width, height, log_x=False, log_y=False, marks="*"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  {y_hi:10.1f} +" + "-" * width)
+    for row in grid:
+        lines.append("             |" + "".join(row))
+    lines.append(f"  {y_lo:10.1f} +" + "-" * width)
+    lines.append(f"              t=0" + " " * max(0, width - 12) + f"t={len(values)}")
+    return "\n".join(lines)

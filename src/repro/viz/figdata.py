@@ -1,0 +1,119 @@
+"""Figure-data exporters: CSV series for every paper figure.
+
+The benchmarks print shape-level comparisons; these exporters write the
+underlying series so the figures can be re-plotted with any external tool
+(gnuplot, matplotlib elsewhere, a spreadsheet).  One file per figure,
+deliberately plain CSV with a header comment naming the paper figure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..analysis.clustering import clustering_histogram, local_clustering
+from ..analysis.degree import degree_distribution
+from ..analysis.fits import compare_fits
+from ..analysis.groups import age_group_degree_distributions
+from ..core.network import CollocationNetwork
+from ..synthpop.person import PersonTable
+
+__all__ = [
+    "export_fig3_csv",
+    "export_fig4_csv",
+    "export_fig5_csv",
+    "export_all_figure_data",
+]
+
+
+def _write_csv(path: Path, header: str, columns: dict[str, np.ndarray]) -> Path:
+    names = list(columns)
+    rows = len(next(iter(columns.values())))
+    lines = [f"# {header}", ",".join(names)]
+    for i in range(rows):
+        lines.append(
+            ",".join(_fmt(columns[name][i]) for name in names)
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _fmt(value) -> str:
+    if isinstance(value, (float, np.floating)):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def export_fig3_csv(network: CollocationNetwork, path: str | Path) -> Path:
+    """Figure 3 series: degree, count, P(k), and the three fitted curves."""
+    dist = degree_distribution(network.degrees())
+    fits = compare_fits(dist)
+    k = dist.degrees.astype(float)
+    return _write_csv(
+        Path(path),
+        "paper Figure 3: vertex degree distribution + fits",
+        {
+            "degree": dist.degrees,
+            "count": dist.counts,
+            "fraction": dist.fractions,
+            "power_law": fits["power_law"].predict(k),
+            "truncated_power_law": fits["truncated_power_law"].predict(k),
+            "exponential": fits["exponential"].predict(k),
+        },
+    )
+
+
+def export_fig4_csv(
+    network: CollocationNetwork, path: str | Path, n_bins: int = 20
+) -> Path:
+    """Figure 4 series: clustering-coefficient histogram."""
+    coeffs = local_clustering(network)
+    edges, counts = clustering_histogram(
+        coeffs, n_bins=n_bins, degrees=network.degrees()
+    )
+    return _write_csv(
+        Path(path),
+        "paper Figure 4: local clustering coefficient histogram",
+        {
+            "bin_lo": edges[:-1],
+            "bin_hi": edges[1:],
+            "count": counts,
+        },
+    )
+
+
+def export_fig5_csv(
+    network: CollocationNetwork, persons: PersonTable, path: str | Path
+) -> Path:
+    """Figure 5 series: within-group degree distributions, long format."""
+    dists = age_group_degree_distributions(network, persons)
+    groups, degrees, counts = [], [], []
+    for label, dist in dists.items():
+        groups.extend([label] * len(dist.degrees))
+        degrees.extend(dist.degrees.tolist())
+        counts.extend(dist.counts.tolist())
+    return _write_csv(
+        Path(path),
+        "paper Figure 5: within-age-group degree distributions",
+        {
+            "group": np.array(groups),
+            "degree": np.array(degrees),
+            "count": np.array(counts),
+        },
+    )
+
+
+def export_all_figure_data(
+    network: CollocationNetwork,
+    persons: PersonTable,
+    directory: str | Path,
+) -> list[Path]:
+    """Write fig3/fig4/fig5 CSVs into a directory; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        export_fig3_csv(network, directory / "fig3_degree_distribution.csv"),
+        export_fig4_csv(network, directory / "fig4_clustering_histogram.csv"),
+        export_fig5_csv(network, persons, directory / "fig5_age_groups.csv"),
+    ]

@@ -1,0 +1,128 @@
+"""Tests for community detection (label propagation + modularity)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis.community import (
+    community_sizes,
+    label_propagation,
+    modularity,
+)
+from repro.core import CollocationNetwork
+from repro.errors import AnalysisError
+
+
+def planted_cliques(sizes, bridge_weight=1):
+    """Disjoint cliques with single light bridges between consecutive ones."""
+    n = sum(sizes)
+    rows, cols, data = [], [], []
+    offset = 0
+    firsts = []
+    for size in sizes:
+        for i in range(size):
+            for j in range(i + 1, size):
+                rows.append(offset + i)
+                cols.append(offset + j)
+                data.append(10)
+        firsts.append(offset)
+        offset += size
+    for a, b in zip(firsts[:-1], firsts[1:]):
+        rows.append(min(a, b))
+        cols.append(max(a, b))
+        data.append(bridge_weight)
+    adj = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    return CollocationNetwork(adj), sizes
+
+
+class TestLabelPropagation:
+    def test_recovers_planted_cliques(self):
+        net, sizes = planted_cliques([8, 8, 8])
+        labels = label_propagation(net, seed=1)
+        # members of a clique share a label
+        offset = 0
+        for size in sizes:
+            block = labels[offset : offset + size]
+            assert len(np.unique(block)) == 1
+            offset += size
+        # cliques get (mostly) distinct labels
+        firsts = labels[np.cumsum([0] + sizes[:-1])]
+        assert len(np.unique(firsts)) >= 2
+
+    def test_isolated_vertices_singleton(self):
+        net = CollocationNetwork(sp.csr_matrix((5, 5), dtype=np.int64))
+        labels = label_propagation(net)
+        assert len(np.unique(labels)) == 5
+
+    def test_deterministic_for_seed(self, small_net):
+        a = label_propagation(small_net, seed=3)
+        b = label_propagation(small_net, seed=3)
+        assert (a == b).all()
+
+    def test_labels_dense_renumbered(self, small_net):
+        labels = label_propagation(small_net)
+        uniq = np.unique(labels)
+        assert uniq[0] == 0
+        assert uniq[-1] == len(uniq) - 1
+
+    def test_households_recovered_on_real_network(self, small_net, small_pop):
+        """Households are near-perfect communities of the collocation
+        network; members should co-label far above chance."""
+        labels = label_propagation(small_net, seed=0)
+        hh = small_pop.persons.household
+        same = 0
+        total = 0
+        counts = np.bincount(hh)
+        for h in np.flatnonzero(counts >= 2)[:100]:
+            members = np.flatnonzero(hh == h)
+            total += 1
+            if len(np.unique(labels[members])) == 1:
+                same += 1
+        assert same / total > 0.6
+
+
+class TestModularity:
+    def test_matches_networkx(self, small_net):
+        labels = label_propagation(small_net, seed=0)
+        q = modularity(small_net, labels)
+        g = small_net.to_networkx()
+        part = [
+            set(np.flatnonzero(labels == c).tolist())
+            for c in np.unique(labels)
+        ]
+        q_nx = nx.community.modularity(g, part, weight="weight")
+        assert q == pytest.approx(q_nx, abs=1e-9)
+
+    def test_planted_partition_beats_random(self):
+        net, sizes = planted_cliques([10, 10, 10])
+        planted = np.repeat(np.arange(3), 10)
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 3, 30)
+        assert modularity(net, planted) > modularity(net, random_labels)
+
+    def test_single_community_zero_ish(self):
+        net, _ = planted_cliques([6])
+        assert modularity(net, np.zeros(6, dtype=np.int64)) == pytest.approx(0.0)
+
+    def test_empty_network(self):
+        net = CollocationNetwork(sp.csr_matrix((3, 3), dtype=np.int64))
+        assert modularity(net, np.zeros(3, dtype=np.int64)) == 0.0
+
+    def test_label_shape_checked(self, small_net):
+        with pytest.raises(AnalysisError):
+            modularity(small_net, np.zeros(3))
+
+    def test_detected_communities_have_positive_modularity(self, small_net):
+        """The 800-person test world is dense (one tight town), so LPA
+        finds coarse structure; modularity must still be positive."""
+        labels = label_propagation(small_net, seed=0)
+        assert modularity(small_net, labels) > 0.02
+
+
+class TestSizes:
+    def test_descending(self):
+        sizes = community_sizes(np.array([0, 0, 0, 1, 2, 2]))
+        assert sizes.tolist() == [3, 2, 1]

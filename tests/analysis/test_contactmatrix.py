@@ -1,0 +1,95 @@
+"""Tests for age-group contact matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis.contactmatrix import contact_matrix
+from repro.config import age_group_labels
+from repro.core import CollocationNetwork
+from repro.errors import AnalysisError
+from repro.synthpop.person import NO_PLACE, PersonTable
+
+
+def tiny_world(ages, edges, weights=None):
+    n = len(ages)
+    persons = PersonTable(
+        age=np.array(ages, dtype=np.uint8),
+        household=np.zeros(n, dtype=np.uint32),
+        school=np.full(n, NO_PLACE, dtype=np.uint32),
+        workplace=np.full(n, NO_PLACE, dtype=np.uint32),
+        favorites=np.zeros((n, 1), dtype=np.uint32),
+    )
+    rows = [min(e) for e in edges]
+    cols = [max(e) for e in edges]
+    data = weights or [1] * len(edges)
+    net = CollocationNetwork(
+        sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    )
+    return net, persons
+
+
+class TestExactCounts:
+    def test_cross_group_edge(self):
+        # a child (age 8) and an adult (age 30) connected for 5 hours
+        net, persons = tiny_world([8, 30], [(0, 1)], weights=[5])
+        cm = contact_matrix(net, persons)
+        child, adult = 0, 2  # group indices for 0-14 and 19-44
+        assert cm.total_contacts[child, adult] == 1
+        assert cm.total_contacts[adult, child] == 1
+        assert cm.total_hours[child, adult] == 5
+        assert cm.total_contacts[child, child] == 0
+
+    def test_within_group_edge_counted_from_both_ends(self):
+        net, persons = tiny_world([8, 9], [(0, 1)])
+        cm = contact_matrix(net, persons)
+        assert cm.total_contacts[0, 0] == 2  # both endpoints in group 0
+
+    def test_mean_contacts_normalization(self):
+        # two children, one adult; each child linked to the adult
+        net, persons = tiny_world([8, 9, 40], [(0, 2), (1, 2)])
+        cm = contact_matrix(net, persons)
+        mc = cm.mean_contacts()
+        child, adult = 0, 2
+        assert mc[child, adult] == pytest.approx(1.0)  # each child: 1 adult
+        assert mc[adult, child] == pytest.approx(2.0)  # the adult: 2 kids
+
+
+class TestInvariants:
+    def test_reciprocity_on_real_network(self, small_net, small_pop):
+        cm = contact_matrix(small_net, small_pop.persons)
+        assert (cm.total_contacts == cm.total_contacts.T).all()
+        assert (cm.total_hours == cm.total_hours.T).all()
+
+    def test_totals_match_network(self, small_net, small_pop):
+        cm = contact_matrix(small_net, small_pop.persons)
+        assert cm.total_contacts.sum() == 2 * small_net.n_edges
+        assert cm.total_hours.sum() == 2 * small_net.total_weight
+        assert cm.group_sizes.sum() == small_pop.n_persons
+
+    def test_labels_ordered(self, small_net, small_pop):
+        cm = contact_matrix(small_net, small_pop.persons)
+        assert cm.labels == age_group_labels()
+
+    def test_population_mismatch(self, small_net):
+        _, persons = tiny_world([5, 6], [(0, 1)])
+        with pytest.raises(AnalysisError):
+            contact_matrix(small_net, persons)
+
+
+class TestStructure:
+    def test_children_mix_mostly_with_children(self, small_net, small_pop):
+        """School compartments make the 0-14 group strongly assortative —
+        the Figure 5 story seen through the mixing matrix."""
+        cm = contact_matrix(small_net, small_pop.persons)
+        frac = cm.assortativity_fraction()
+        kids = frac[0]
+        assert kids > 0.4
+        # children keep more contacts within-group than seniors do
+        assert kids > frac[4]
+
+    def test_report_renders(self, small_net, small_pop):
+        text = contact_matrix(small_net, small_pop.persons).report()
+        assert "0-14" in text and "within-group" in text

@@ -1,0 +1,125 @@
+"""Tests for ego-network extraction (networkx cross-check)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis.ego import ego_network, sample_ego_networks
+from repro.core import CollocationNetwork
+from repro.errors import AnalysisError
+
+
+@pytest.fixture()
+def path_net():
+    """A path 0-1-2-3-4."""
+    rows = [0, 1, 2, 3]
+    cols = [1, 2, 3, 4]
+    return CollocationNetwork(
+        sp.coo_matrix(([1] * 4, (rows, cols)), shape=(5, 5)).tocsr()
+    )
+
+
+class TestRadius:
+    def test_radius_zero_is_just_center(self, path_net):
+        ego = ego_network(path_net, 2, radius=0)
+        assert ego.persons.tolist() == [2]
+        assert ego.n_edges == 0
+
+    def test_radius_one(self, path_net):
+        ego = ego_network(path_net, 2, radius=1)
+        assert ego.persons.tolist() == [1, 2, 3]
+        assert ego.n_edges == 2
+
+    def test_radius_two_covers_path(self, path_net):
+        ego = ego_network(path_net, 2, radius=2)
+        assert ego.persons.tolist() == [0, 1, 2, 3, 4]
+        assert ego.n_edges == 4
+
+    def test_negative_radius(self, path_net):
+        with pytest.raises(AnalysisError):
+            ego_network(path_net, 0, radius=-1)
+
+    def test_center_out_of_range(self, path_net):
+        with pytest.raises(AnalysisError):
+            ego_network(path_net, 99)
+
+    def test_isolated_center(self):
+        net = CollocationNetwork(sp.csr_matrix((4, 4), dtype=np.int64))
+        ego = ego_network(net, 1, radius=2)
+        assert ego.n_nodes == 1
+
+
+class TestInducedSubgraph:
+    def test_edges_between_frontier_nodes_kept(self):
+        """V = V1 ∪ V2 keeps *all* edges inside V (paper Section V.A),
+        including edges between two radius-2 vertices."""
+        # center 0 - 1 - 2, 1 - 3, and an edge 2-3 between the two
+        # radius-2 vertices
+        edges = [(0, 1), (1, 2), (1, 3), (2, 3)]
+        rows = [min(e) for e in edges]
+        cols = [max(e) for e in edges]
+        net = CollocationNetwork(
+            sp.coo_matrix(([1] * 4, (rows, cols)), shape=(4, 4)).tocsr()
+        )
+        ego = ego_network(net, 0, radius=2)
+        assert ego.n_nodes == 4
+        assert ego.n_edges == 4  # 2-3 preserved
+
+    def test_matches_networkx_ego_graph(self, small_net, rng):
+        g = small_net.to_networkx()
+        degrees = small_net.degrees()
+        for person in rng.choice(
+            np.flatnonzero(degrees > 0), size=5, replace=False
+        ):
+            ego = ego_network(small_net, int(person), radius=2)
+            theirs = nx.ego_graph(g, int(person), radius=2)
+            assert ego.n_nodes == theirs.number_of_nodes()
+            assert ego.n_edges == theirs.number_of_edges()
+            assert set(int(p) for p in ego.persons) == set(theirs.nodes())
+
+    def test_weights_preserved(self, small_net):
+        degrees = small_net.degrees()
+        person = int(np.argmax(degrees))
+        ego = ego_network(small_net, person, radius=1)
+        local = ego.center_local
+        for j_local in np.flatnonzero(ego.matrix[local].toarray().ravel())[:10]:
+            j = int(ego.persons[j_local])
+            assert ego.matrix[local, j_local] == small_net.edge_weight(person, j)
+
+    def test_to_networkx_labels_are_global(self, small_net):
+        degrees = small_net.degrees()
+        person = int(np.argmax(degrees))
+        ego = ego_network(small_net, person, radius=1)
+        g = ego.to_networkx()
+        assert person in g.nodes
+
+
+class TestSampling:
+    def test_sample_count_and_reproducibility(self, small_net):
+        a = sample_ego_networks(
+            small_net, 3, np.random.default_rng(5), radius=1
+        )
+        b = sample_ego_networks(
+            small_net, 3, np.random.default_rng(5), radius=1
+        )
+        assert [e.center for e in a] == [e.center for e in b]
+        assert len(a) == 3
+
+    def test_min_degree_respected(self, small_net):
+        egos = sample_ego_networks(
+            small_net, 5, np.random.default_rng(1), radius=1, min_degree=10
+        )
+        degrees = small_net.degrees()
+        assert all(degrees[e.center] >= 10 for e in egos)
+
+    def test_no_eligible_vertices(self):
+        net = CollocationNetwork(sp.csr_matrix((3, 3), dtype=np.int64))
+        with pytest.raises(AnalysisError):
+            sample_ego_networks(net, 1, np.random.default_rng(0))
+
+    def test_density_definition(self, path_net):
+        ego = ego_network(path_net, 2, radius=1)  # 3 nodes, 2 edges
+        assert ego.density() == pytest.approx(2 / 3)

@@ -1,0 +1,130 @@
+"""Tests for distribution fitting: recover known synthetic laws."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.degree import DegreeDistribution, degree_distribution
+from repro.analysis.fits import (
+    compare_fits,
+    fit_exponential,
+    fit_power_law,
+    fit_truncated_power_law,
+    power_law_mle,
+)
+from repro.errors import FitError
+
+
+def synthetic_dist(law, k_max=500, **params):
+    """Exact count distribution following a known law."""
+    k = np.arange(1, k_max + 1, dtype=np.float64)
+    if law == "power":
+        p = k ** -params["a"]
+    elif law == "trunc":
+        p = k ** -params["a"] * np.exp(-k / params["kc"])
+    elif law == "exp":
+        p = np.exp(-k / params["kc"])
+    counts = np.round(p / p.max() * 1e6).astype(np.int64)
+    keep = counts > 0
+    return DegreeDistribution(
+        degrees=k[keep].astype(np.int64),
+        counts=counts[keep],
+        n_vertices=int(counts.sum()),
+        n_isolated=0,
+    )
+
+
+class TestPowerLaw:
+    def test_recovers_exponent(self):
+        d = synthetic_dist("power", a=1.5)
+        fit = fit_power_law(d)
+        assert fit.params["a"] == pytest.approx(1.5, abs=0.05)
+        assert fit.rms_log_error < 0.05
+
+    def test_paper_reference_exponent_in_range(self):
+        """Paper: scale-free networks have a typically between 1 and 3."""
+        d = synthetic_dist("power", a=2.5)
+        assert 1.0 < fit_power_law(d).params["a"] < 3.0
+
+    def test_mle_close_to_true(self):
+        """The CSN continuous approximation is accurate for k_min >= ~5
+        (and visibly biased at k_min = 1, which we also pin down)."""
+        rng = np.random.default_rng(0)
+        degrees = rng.zipf(2.2, 100_000)
+        assert power_law_mle(degrees, k_min=5) == pytest.approx(2.2, abs=0.1)
+        assert power_law_mle(degrees, k_min=1) == pytest.approx(1.9, abs=0.1)
+
+    def test_mle_too_few_points(self):
+        with pytest.raises(FitError):
+            power_law_mle(np.array([3]))
+
+    def test_fit_needs_support(self):
+        d = degree_distribution(np.array([2, 2]))
+        with pytest.raises(FitError):
+            fit_power_law(d)
+
+
+class TestTruncatedPowerLaw:
+    def test_recovers_both_params(self):
+        d = synthetic_dist("trunc", a=1.25, kc=100.0)
+        fit = fit_truncated_power_law(d)
+        assert fit.params["a"] == pytest.approx(1.25, abs=0.1)
+        assert fit.params["kc"] == pytest.approx(100.0, rel=0.15)
+        assert fit.rms_log_error < 0.05
+
+    def test_beats_pure_power_law_on_truncated_data(self):
+        """Figure 3's qualitative ranking on rolled-off data."""
+        d = synthetic_dist("trunc", a=1.25, kc=80.0)
+        trunc = fit_truncated_power_law(d)
+        pure = fit_power_law(d)
+        assert trunc.rms_log_error < pure.rms_log_error
+
+    def test_degenerate_tail_falls_back(self):
+        """Exponentially growing data yields kc = inf (no decay term)."""
+        k = np.arange(1, 50)
+        counts = np.exp(k / 10.0).astype(np.int64) + 1  # growing tail
+        d = DegreeDistribution(
+            degrees=k.astype(np.int64), counts=counts,
+            n_vertices=int(counts.sum()), n_isolated=0,
+        )
+        fit = fit_truncated_power_law(d)
+        assert fit.params["kc"] == np.inf
+        pred = fit.predict(np.array([5.0]))
+        assert np.isfinite(pred).all()
+
+
+class TestExponential:
+    def test_recovers_scale(self):
+        d = synthetic_dist("exp", kc=50.0)
+        fit = fit_exponential(d)
+        assert fit.params["kc"] == pytest.approx(50.0, rel=0.1)
+        assert fit.rms_log_error < 0.05
+
+    def test_exponential_beats_power_law_on_exp_data(self):
+        d = synthetic_dist("exp", kc=40.0)
+        assert (
+            fit_exponential(d).rms_log_error
+            < fit_power_law(d).rms_log_error
+        )
+
+
+class TestCompare:
+    def test_all_three_forms(self, small_net):
+        d = degree_distribution(small_net.degrees())
+        fits = compare_fits(d)
+        assert set(fits) == {"power_law", "truncated_power_law", "exponential"}
+        for fit in fits.values():
+            assert np.isfinite(fit.rms_log_error)
+            assert fit.n_points == len(d.degrees)
+
+    def test_predict_positive(self, small_net):
+        d = degree_distribution(small_net.degrees())
+        for fit in compare_fits(d).values():
+            pred = fit.predict(d.degrees.astype(float))
+            assert (pred > 0).all()
+
+    def test_tail_error_finite(self, small_net):
+        d = degree_distribution(small_net.degrees())
+        for fit in compare_fits(d).values():
+            assert np.isfinite(fit.tail_error(d))

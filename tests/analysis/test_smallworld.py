@@ -1,0 +1,87 @@
+"""Tests for path-length sampling and the small-world coefficient."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis.smallworld import (
+    sampled_path_lengths,
+    small_world_sigma,
+)
+from repro.core import CollocationNetwork
+from repro.errors import AnalysisError
+
+
+def path_graph(n):
+    rows = np.arange(n - 1)
+    cols = rows + 1
+    return CollocationNetwork(
+        sp.coo_matrix((np.ones(n - 1, dtype=np.int64), (rows, cols)), shape=(n, n)).tocsr()
+    )
+
+
+class TestPathLengths:
+    def test_path_graph_exact(self, rng):
+        net = path_graph(10)
+        stats = sampled_path_lengths(net, 10, rng)  # all sources
+        # mean over all ordered pairs of a path P10: sum d(i,j)/(n(n-1))
+        g = nx.path_graph(10)
+        total = sum(
+            d for src in g for d in dict(nx.shortest_path_length(g, src)).values()
+        )
+        expected = total / (10 * 9)
+        assert stats.mean_length == pytest.approx(expected)
+        assert stats.max_length == 9
+        assert stats.reachable_fraction == pytest.approx(1.0)
+
+    def test_disconnected_components_partial_reach(self, rng):
+        # two disjoint edges
+        adj = sp.coo_matrix(
+            ([1, 1], ([0, 2], [1, 3])), shape=(4, 4)
+        ).tocsr()
+        net = CollocationNetwork(adj)
+        stats = sampled_path_lengths(net, 4, rng)
+        assert stats.mean_length == pytest.approx(1.0)
+        assert stats.reachable_fraction < 1.0
+
+    def test_empty_network_raises(self, rng):
+        net = CollocationNetwork(sp.csr_matrix((4, 4), dtype=np.int64))
+        with pytest.raises(AnalysisError):
+            sampled_path_lengths(net, 2, rng)
+
+    def test_matches_networkx_on_real_network(self, small_net):
+        rng = np.random.default_rng(0)
+        stats = sampled_path_lengths(small_net, 5, rng)
+        # cross-check a single-source BFS exactly
+        g = small_net.to_networkx()
+        rng2 = np.random.default_rng(0)
+        degrees = small_net.degrees()
+        eligible = np.flatnonzero(degrees > 0)
+        sources = rng2.choice(eligible, size=5, replace=False)
+        total, count = 0, 0
+        for s in sources:
+            for d in nx.single_source_shortest_path_length(g, int(s)).values():
+                if d > 0:
+                    total += d
+                    count += 1
+        assert stats.mean_length == pytest.approx(total / count)
+
+
+class TestSmallWorldSigma:
+    def test_collocation_network_is_small_world(self, small_net):
+        """The paper's framing: high clustering + short paths vs random."""
+        result = small_world_sigma(small_net, n_sources=10, seed=0)
+        assert result["sigma"] > 2.0
+        assert result["C"] > result["C_rand"]
+        # urban collocation: a handful of hops spans the city
+        assert result["L"] < 6.0
+
+    def test_random_graph_sigma_near_one(self, rng):
+        from repro.netgen import erdos_renyi
+
+        net = erdos_renyi(800, 4_000, rng)
+        result = small_world_sigma(net, n_sources=10, seed=1)
+        assert result["sigma"] < 3.0

@@ -1,0 +1,56 @@
+"""Tests for whole-network summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.analysis import summarize
+from repro.core import CollocationNetwork
+
+
+class TestSummary:
+    def test_counts_on_known_graph(self):
+        # two components: triangle {0,1,2} and edge {3,4}; 5 isolated: node 5
+        edges = [(0, 1, 2), (1, 2, 3), (0, 2, 1), (3, 4, 10)]
+        rows = [e[0] for e in edges]
+        cols = [e[1] for e in edges]
+        data = [e[2] for e in edges]
+        net = CollocationNetwork(
+            sp.coo_matrix((data, (rows, cols)), shape=(6, 6)).tocsr()
+        )
+        s = summarize(net)
+        assert s.n_vertices == 6
+        assert s.n_edges == 4
+        assert s.total_weight == 16
+        assert s.n_isolated == 1
+        assert s.n_components == 3
+        assert s.giant_component_size == 3
+        assert s.max_degree == 2
+
+    def test_real_network_consistency(self, small_net):
+        s = summarize(small_net)
+        assert s.n_vertices == small_net.n_persons
+        assert s.n_edges == small_net.n_edges
+        assert s.mean_degree == 2 * s.n_edges / s.n_vertices
+        assert 0 < s.giant_component_fraction <= 1.0
+        assert s.memory_bytes > 0
+        assert s.edges_per_person == s.n_edges / s.n_vertices
+
+    def test_giant_component_dominates_real_network(self, small_net):
+        """An urban collocation week is essentially one connected city."""
+        s = summarize(small_net)
+        assert s.giant_component_fraction > 0.9
+
+    def test_report_renders(self, small_net):
+        report = summarize(small_net).report()
+        assert "vertices" in report
+        assert "edges" in report
+        assert "giant component" in report
+
+    def test_empty_network(self):
+        net = CollocationNetwork(sp.csr_matrix((4, 4), dtype=np.int64))
+        s = summarize(net)
+        assert s.n_edges == 0
+        assert s.n_isolated == 4
+        assert s.mean_degree == 0.0

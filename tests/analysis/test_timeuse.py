@@ -1,0 +1,96 @@
+"""Tests for time-use tables and the new degree/fit utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import degree_distribution
+from repro.analysis.fits import bootstrap_exponent_ci
+from repro.analysis.timeuse import time_use_table
+from repro.errors import AnalysisError, FitError
+from repro.synthpop.schedule import Activity
+
+
+class TestTimeUse:
+    @pytest.fixture(scope="class")
+    def table(self, small_pop, week_result):
+        return time_use_table(week_result.records, small_pop.persons)
+
+    def test_total_hours_conserved(self, table, small_pop):
+        assert table.hours.sum() == small_pop.n_persons * repro.HOURS_PER_WEEK
+
+    def test_group_sizes(self, table, small_pop):
+        assert table.group_sizes.sum() == small_pop.n_persons
+
+    def test_home_dominates_everywhere(self, table):
+        shares = table.shares()
+        home = shares[:, int(Activity.AT_HOME)]
+        assert (home > 0.5).all()  # nights alone guarantee the majority
+
+    def test_children_school_hours(self, table):
+        shares = table.shares()
+        school = shares[:, int(Activity.AT_SCHOOL)]
+        # 0-14 and 15-18 have school time; 45-64 and 65+ effectively none
+        assert school[0] > 0.05 and school[1] > 0.05
+        assert school[3] < 0.01 and school[4] < 0.01
+
+    def test_adults_work_hours(self, table):
+        shares = table.shares()
+        work = shares[:, int(Activity.AT_WORK)]
+        assert work[2] > 0.1  # 19-44
+        assert work[2] > work[0]  # more than children (who don't work)
+
+    def test_weekly_hours_sane(self, table):
+        weekly = table.hours_per_person_week(repro.HOURS_PER_WEEK)
+        assert np.allclose(weekly.sum(axis=1), 7 * 24, atol=1e-6)
+
+    def test_report_renders(self, table):
+        text = table.report()
+        assert "at_home" in text and "0-14" in text
+
+    def test_bad_records(self, small_pop):
+        with pytest.raises(AnalysisError):
+            time_use_table(np.zeros(3, dtype=np.uint32), small_pop.persons)
+
+
+class TestCcdf:
+    def test_monotone_and_normalized(self, small_net):
+        dist = degree_distribution(small_net.degrees())
+        k, p = dist.ccdf()
+        assert p[0] == pytest.approx(1.0)
+        assert (np.diff(p) <= 1e-12).all()
+        assert p[-1] > 0
+
+    def test_exact_small_case(self):
+        dist = degree_distribution(np.array([1, 1, 2, 5]))
+        k, p = dist.ccdf()
+        assert k.tolist() == [1, 2, 5]
+        assert p.tolist() == [1.0, 0.5, 0.25]
+
+    def test_empty(self):
+        dist = degree_distribution(np.zeros(3, dtype=int))
+        k, p = dist.ccdf()
+        assert len(k) == 0
+
+
+class TestBootstrapCI:
+    def test_ci_contains_truth(self):
+        rng = np.random.default_rng(1)
+        degrees = rng.zipf(2.3, 30_000)
+        a, lo, hi = bootstrap_exponent_ci(degrees, n_boot=80, k_min=5, seed=2)
+        assert lo <= a <= hi
+        assert lo <= 2.3 <= hi + 0.15  # generous: MLE approx bias
+
+    def test_ci_narrows_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = rng.zipf(2.3, 500)
+        big = rng.zipf(2.3, 50_000)
+        _, lo_s, hi_s = bootstrap_exponent_ci(small, n_boot=60, k_min=2)
+        _, lo_b, hi_b = bootstrap_exponent_ci(big, n_boot=60, k_min=2)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_too_few(self):
+        with pytest.raises(FitError):
+            bootstrap_exponent_ci(np.array([3]))

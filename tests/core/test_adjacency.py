@@ -1,0 +1,102 @@
+"""Tests for A = x·xᵀ and accumulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.adjacency import (
+    accumulate_adjacency,
+    empty_adjacency,
+    place_adjacency,
+    sum_adjacency_list,
+    triu_symmetrize,
+)
+from repro.core.colloc import collocation_matrix_for_place
+from repro.errors import SynthesisError
+from repro.evlog.schema import make_records
+
+
+def colloc(persons, starts, stops, place=7, t0=0, t1=10):
+    rec = make_records(
+        starts, stops, persons, np.zeros(len(persons)), np.full(len(persons), place)
+    )
+    return collocation_matrix_for_place(place, rec, t0, t1)
+
+
+class TestPlaceAdjacency:
+    def test_pairwise_hours(self):
+        # p1 hours [0,4), p2 hours [2,6): overlap 2 hours
+        m = colloc([1, 2], [0, 2], [4, 6])
+        a = place_adjacency(m, 5).tocsr()
+        assert a[1, 2] == 2
+        assert a.nnz == 1  # strict upper triangle only
+
+    def test_no_overlap_no_edge(self):
+        m = colloc([1, 2], [0, 5], [5, 9])
+        a = place_adjacency(m, 5)
+        assert a.nnz == 0
+
+    def test_diagonal_dropped(self):
+        m = colloc([3], [0], [9])
+        a = place_adjacency(m, 5)
+        assert a.nnz == 0
+
+    def test_clique_of_collocated_persons(self):
+        # 4 people all present hours [0,3): complete graph, weight 3
+        m = colloc([0, 1, 2, 3], [0, 0, 0, 0], [3, 3, 3, 3])
+        a = place_adjacency(m, 4).tocsr()
+        assert a.nnz == 6  # C(4,2)
+        assert (a.data == 3).all()
+
+    def test_person_outside_population(self):
+        m = colloc([100], [0], [2])
+        with pytest.raises(SynthesisError):
+            place_adjacency(m, 5)
+
+
+class TestAccumulate:
+    def test_sums_duplicates(self):
+        m1 = colloc([1, 2], [0, 0], [2, 2], place=7)
+        m2 = colloc([1, 2], [0, 0], [3, 3], place=8)
+        total = accumulate_adjacency(
+            [place_adjacency(m1, 5), place_adjacency(m2, 5)], 5
+        )
+        assert total[1, 2] == 5
+
+    def test_empty(self):
+        out = accumulate_adjacency([], 4)
+        assert out.shape == (4, 4)
+        assert out.nnz == 0
+
+    def test_rejects_lower_triangle(self):
+        bad = sp.coo_matrix(([1], ([2], [1])), shape=(4, 4))
+        with pytest.raises(SynthesisError):
+            accumulate_adjacency([bad], 4)
+
+    def test_rejects_out_of_range(self):
+        bad = sp.coo_matrix(([1], ([1], [9])), shape=(10, 10))
+        with pytest.raises(SynthesisError):
+            accumulate_adjacency([bad], 4)
+
+    def test_sum_adjacency_list_is_worker_reduce(self):
+        ms = [
+            colloc([0, 1], [0, 0], [4, 4], place=3),
+            colloc([1, 2], [0, 0], [2, 2], place=4),
+        ]
+        out = sum_adjacency_list(ms, 4)
+        assert out[0, 1] == 4
+        assert out[1, 2] == 2
+
+
+class TestSymmetrize:
+    def test_triu_symmetrize(self):
+        up = sp.coo_matrix(([5], ([0], [2])), shape=(3, 3)).tocsr()
+        sym = triu_symmetrize(up)
+        assert sym[0, 2] == 5 and sym[2, 0] == 5
+        assert (sym != sym.T).nnz == 0
+
+    def test_empty_adjacency_shape(self):
+        e = empty_adjacency(7)
+        assert e.shape == (7, 7) and e.nnz == 0

@@ -1,0 +1,98 @@
+"""Tests for nnz load balancing (LPT)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balance import balance_by_nnz, lpt_partition
+from repro.errors import PartitionError
+
+
+class FakeMatrix:
+    def __init__(self, nnz):
+        self.nnz = nnz
+
+
+class TestLPT:
+    def test_exact_split(self):
+        buckets, report = lpt_partition([5, 5, 5, 5], 2)
+        assert report.loads.tolist() == [10, 10]
+        assert report.imbalance == 1.0
+
+    def test_every_item_assigned_once(self):
+        buckets, _ = lpt_partition([3, 1, 4, 1, 5, 9, 2, 6], 3)
+        flat = sorted(i for b in buckets for i in b)
+        assert flat == list(range(8))
+
+    def test_giant_item_dominates(self):
+        """One huge place: imbalance bounded by the item, not the algorithm."""
+        buckets, report = lpt_partition([1000, 1, 1, 1], 4)
+        assert report.max_load == 1000
+        assert report.max_item == 1000
+
+    def test_more_buckets_than_items(self):
+        buckets, report = lpt_partition([7, 3], 5)
+        assert sum(len(b) for b in buckets) == 2
+        assert report.loads.sum() == 10
+
+    def test_empty_items(self):
+        buckets, report = lpt_partition([], 3)
+        assert all(not b for b in buckets)
+        assert report.imbalance == 1.0
+
+    def test_invalid_buckets(self):
+        with pytest.raises(PartitionError):
+            lpt_partition([1], 0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(PartitionError):
+            lpt_partition([1, -2], 2)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), max_size=200),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=80)
+    def test_property_lpt_bound(self, weights, n_buckets):
+        """LPT guarantee: max_load <= mean_load + max_item."""
+        buckets, report = lpt_partition(weights, n_buckets)
+        assert sorted(i for b in buckets for i in b) == list(range(len(weights)))
+        max_item = max(weights) if weights else 0
+        assert report.max_load <= report.mean_load + max_item + 1e-9
+        assert report.loads.sum() == sum(weights)
+
+
+class TestBalanceByNnz:
+    def test_uses_nnz_attribute(self):
+        ms = [FakeMatrix(10), FakeMatrix(1), FakeMatrix(9), FakeMatrix(2)]
+        shares, report = balance_by_nnz(ms, 2)
+        assert report.loads.tolist() == [11, 11]
+        # the two big ones land in different buckets
+        big_buckets = [
+            any(m.nnz == 10 for m in s) for s in shares
+        ]
+        assert sum(big_buckets) == 1
+
+    def test_explicit_weights(self):
+        ms = ["a", "b", "c"]
+        shares, report = balance_by_nnz(ms, 2, nnz=[5, 5, 10])
+        assert report.max_load == 10
+
+    def test_weights_length_checked(self):
+        with pytest.raises(PartitionError):
+            balance_by_nnz(["a"], 2, nnz=[1, 2])
+
+    def test_real_matrices_balance_well(self, week_result, small_pop):
+        """On real log data the nnz split should be near-perfect: many
+        small places smooth out the bins (paper IV.A.3)."""
+        import repro
+        from repro.core.colloc import build_collocation_matrices
+        from repro.core.slicing import slice_records
+
+        sliced = slice_records(week_result.records, 0, repro.HOURS_PER_WEEK)
+        ms = build_collocation_matrices(sliced, 0, repro.HOURS_PER_WEEK)
+        _, report = balance_by_nnz(ms, 8)
+        assert report.imbalance < 1.05

@@ -1,0 +1,87 @@
+"""Tests for the BSP (MPI-style) synthesis backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import synthesize_network
+from repro.core.bsp_pipeline import synthesize_network_bsp
+from repro.errors import SynthesisError
+
+
+@pytest.fixture(scope="module")
+def serial_net(small_pop, week_result):
+    net, _ = synthesize_network(
+        week_result.records, small_pop.n_persons, 0, repro.HOURS_PER_WEEK
+    )
+    return net
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 5])
+    def test_identical_to_serial(self, small_pop, week_result, serial_net, n_ranks):
+        result = synthesize_network_bsp(
+            week_result.records,
+            small_pop.n_persons,
+            0,
+            repro.HOURS_PER_WEEK,
+            n_ranks,
+        )
+        assert (result.network.adjacency != serial_net.adjacency).nnz == 0
+        assert result.n_ranks == n_ranks
+
+    def test_sub_window(self, small_pop, week_result):
+        window, _ = synthesize_network(
+            week_result.records, small_pop.n_persons, 20, 80
+        )
+        result = synthesize_network_bsp(
+            week_result.records, small_pop.n_persons, 20, 80, 3
+        )
+        assert (result.network.adjacency != window.adjacency).nnz == 0
+
+
+class TestCommunicationProfile:
+    def test_single_rank_no_traffic(self, small_pop, week_result):
+        result = synthesize_network_bsp(
+            week_result.records, small_pop.n_persons, 0, repro.HOURS_PER_WEEK, 1
+        )
+        assert result.traffic.bytes_sent == 0
+        assert result.matrices_moved == 0
+
+    def test_multi_rank_meters_stages(self, small_pop, week_result):
+        result = synthesize_network_bsp(
+            week_result.records, small_pop.n_persons, 0, repro.HOURS_PER_WEEK, 4
+        )
+        kinds = result.traffic.by_kind
+        # scatter + matrix exchange, nnz allgather, final reduce all appear
+        assert kinds.get("alltoall", 0) > 0
+        assert kinds.get("allgather", 0) > 0
+        assert kinds.get("gather", 0) > 0
+        # the balancing step really moves matrices between ranks
+        assert result.matrices_moved > 0
+        # every place produced exactly one matrix somewhere
+        assert result.n_places > 0
+
+    def test_all_places_covered(self, small_pop, week_result):
+        from repro.core.slicing import records_by_place, slice_records
+
+        sliced = slice_records(week_result.records, 0, repro.HOURS_PER_WEEK)
+        place_ids, _ = records_by_place(sliced)
+        result = synthesize_network_bsp(
+            week_result.records, small_pop.n_persons, 0, repro.HOURS_PER_WEEK, 3
+        )
+        assert result.n_places == len(place_ids)
+
+
+class TestValidation:
+    def test_bad_population(self, week_result):
+        with pytest.raises(SynthesisError):
+            synthesize_network_bsp(week_result.records, 0, 0, 10, 2)
+
+    def test_bad_ranks(self, small_pop, week_result):
+        with pytest.raises(SynthesisError):
+            synthesize_network_bsp(
+                week_result.records, small_pop.n_persons, 0, 10, 0
+            )

@@ -1,0 +1,76 @@
+"""Tests for per-place collocation matrix construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.colloc import (
+    build_collocation_matrices,
+    collocation_matrix_for_place,
+)
+from repro.errors import SynthesisError
+from repro.evlog.schema import make_records
+
+
+class TestSingleMatrix:
+    def test_presence_bits(self):
+        # person 3 present hours [2,5), person 8 hours [4,6)
+        rec = make_records([2, 4], [5, 6], [3, 8], [0, 0], [7, 7])
+        m = collocation_matrix_for_place(7, rec, 0, 8)
+        assert m.persons.tolist() == [3, 8]
+        dense = m.matrix.toarray()
+        assert dense.shape == (2, 8)
+        assert dense[0].tolist() == [0, 0, 1, 1, 1, 0, 0, 0]
+        assert dense[1].tolist() == [0, 0, 0, 0, 1, 1, 0, 0]
+        assert m.nnz == 5
+
+    def test_same_person_multiple_visits(self):
+        rec = make_records([0, 5], [2, 7], [4, 4], [0, 1], [9, 9])
+        m = collocation_matrix_for_place(9, rec, 0, 10)
+        assert m.n_persons == 1
+        assert m.matrix.toarray()[0].tolist() == [1, 1, 0, 0, 0, 1, 1, 0, 0, 0]
+
+    def test_duplicate_hours_counted_once(self):
+        """Overlapping records for one (person, hour) stay binary."""
+        rec = make_records([0, 1], [3, 4], [4, 4], [0, 1], [9, 9])
+        m = collocation_matrix_for_place(9, rec, 0, 5)
+        assert m.matrix.max() == 1
+        assert m.nnz == 4  # hours 0,1,2,3
+
+    def test_foreign_place_rejected(self):
+        rec = make_records([0], [1], [0], [0], [5])
+        with pytest.raises(SynthesisError):
+            collocation_matrix_for_place(6, rec, 0, 4)
+
+    def test_unclipped_records_rejected(self):
+        rec = make_records([0], [10], [0], [0], [5])
+        with pytest.raises(SynthesisError):
+            collocation_matrix_for_place(5, rec, 0, 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            collocation_matrix_for_place(5, make_records([], [], [], [], []), 0, 4)
+
+
+class TestBuildAll:
+    def test_one_matrix_per_place(self):
+        rec = make_records(
+            [0, 0, 1], [2, 3, 2], [1, 2, 3], [0, 0, 0], [5, 6, 5]
+        )
+        ms = build_collocation_matrices(rec, 0, 4)
+        assert sorted(m.place for m in ms) == [5, 6]
+        by_place = {m.place: m for m in ms}
+        assert by_place[5].persons.tolist() == [1, 3]
+        assert by_place[6].persons.tolist() == [2]
+
+    def test_nnz_is_person_hours(self, week_result, small_pop):
+        import repro
+
+        from repro.core.slicing import slice_records
+
+        sliced = slice_records(week_result.records, 0, repro.HOURS_PER_WEEK)
+        ms = build_collocation_matrices(sliced, 0, repro.HOURS_PER_WEEK)
+        total = sum(m.nnz for m in ms)
+        # every person exists somewhere every hour of the week
+        assert total == small_pop.n_persons * repro.HOURS_PER_WEEK

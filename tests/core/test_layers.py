@@ -1,0 +1,105 @@
+"""Tests for place-kind network layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import layer_records, synthesize_layers
+from repro.errors import SynthesisError
+from repro.synthpop.places import PlaceKind
+
+
+@pytest.fixture(scope="module")
+def layers(small_pop, week_result):
+    return synthesize_layers(
+        week_result.records,
+        small_pop.places,
+        small_pop.n_persons,
+        0,
+        repro.HOURS_PER_WEEK,
+    )
+
+
+class TestDecomposition:
+    def test_all_kinds_present(self, layers):
+        assert set(layers) == {"home", "school", "workplace", "other"}
+
+    def test_layers_sum_to_full_network(self, small_pop, week_result, layers, small_net):
+        total = None
+        for net in layers.values():
+            total = net if total is None else total + net
+        assert (total.adjacency != small_net.adjacency).nnz == 0
+
+    def test_layer_records_partition(self, small_pop, week_result):
+        counts = sum(
+            len(layer_records(week_result.records, small_pop.places, kind))
+            for kind in PlaceKind
+        )
+        assert counts == len(week_result.records)
+
+    def test_layer_records_kind_pure(self, small_pop, week_result):
+        subset = layer_records(
+            week_result.records, small_pop.places, PlaceKind.SCHOOL
+        )
+        kinds = small_pop.places.kind[subset["place"].astype(np.int64)]
+        assert (kinds == int(PlaceKind.SCHOOL)).all()
+
+    def test_bad_place_id(self, small_pop):
+        from repro.evlog import make_records
+
+        bad = make_records([0], [1], [0], [0], [10**6])
+        with pytest.raises(SynthesisError):
+            layer_records(bad, small_pop.places, PlaceKind.HOME)
+
+
+class TestLayerStructure:
+    def test_home_layer_is_household_cliques(self, small_pop, layers):
+        """Home contacts are exactly within-household pairs."""
+        home = layers["home"]
+        hh = small_pop.persons.household
+        coo = home.adjacency.tocoo()
+        assert (hh[coo.row] == hh[coo.col]).all()
+        # expected edge count: sum over households of C(size, 2)
+        sizes = np.bincount(hh)
+        expected = int((sizes * (sizes - 1) // 2).sum())
+        assert home.n_edges == expected
+
+    def test_home_heaviest_weights(self, layers):
+        """Households share the most hours per pair; venues the fewest."""
+        mean_w = {
+            name: net.total_weight / net.n_edges
+            for name, net in layers.items()
+            if net.n_edges
+        }
+        assert mean_w["home"] > mean_w["school"]
+        assert mean_w["home"] > mean_w["other"]
+        assert mean_w["other"] == min(mean_w.values())
+
+    def test_venue_layer_most_edges(self, layers):
+        """Brief venue contacts dominate pair counts (weak ties)."""
+        assert layers["other"].n_edges == max(
+            net.n_edges for net in layers.values()
+        )
+
+    def test_school_layer_only_connects_students(self, small_pop, layers):
+        school = layers["school"]
+        students = small_pop.persons.is_student
+        degrees = school.degrees()
+        assert (degrees[~students] == 0).all()
+
+    def test_empty_kind_gives_empty_network(self, small_pop, week_result):
+        """Slicing a window with no school hours leaves an empty layer of
+        the right shape (Sunday 3-5 AM)."""
+        t0 = 6 * 24 + 3
+        layers = synthesize_layers(
+            week_result.records,
+            small_pop.places,
+            small_pop.n_persons,
+            t0,
+            t0 + 2,
+        )
+        assert layers["school"].n_edges == 0
+        assert layers["school"].n_persons == small_pop.n_persons
+        assert layers["home"].n_edges > 0

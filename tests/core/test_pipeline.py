@@ -1,0 +1,199 @@
+"""Tests for the synthesis pipeline, including the brute-force oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import synthesize_from_logs, synthesize_network
+from repro.core.pipeline import validate_place_locality
+from repro.distrib import ThreadPool, make_pool, spatial_partition
+from repro.errors import SynthesisError
+from repro.evlog import LogSet, write_rank_logs
+from repro.sim.events import events_to_grid
+
+
+def brute_force_collocation(records, n_persons, t0, t1):
+    """O(p² t) oracle: count shared place-hours directly."""
+    _, plc = events_to_grid(records, n_persons, t0, t1)
+    W = np.zeros((n_persons, n_persons), dtype=np.int64)
+    for h in range(t1 - t0):
+        col = plc[:, h]
+        order = np.argsort(col, kind="stable")
+        sc = col[order]
+        starts = np.concatenate(
+            ([0], np.flatnonzero(sc[1:] != sc[:-1]) + 1, [n_persons])
+        )
+        for i in range(len(starts) - 1):
+            members = order[starts[i] : starts[i + 1]]
+            if len(members) > 1:
+                W[np.ix_(members, members)] += 1
+    np.fill_diagonal(W, 0)
+    return W
+
+
+class TestOracle:
+    def test_pipeline_matches_brute_force(self, small_pop, week_result):
+        t0, t1 = 0, 48
+        net, _ = synthesize_network(
+            week_result.records, small_pop.n_persons, t0, t1
+        )
+        expect = brute_force_collocation(
+            week_result.records, small_pop.n_persons, t0, t1
+        )
+        assert (net.symmetric().toarray() == expect).all()
+
+    def test_mid_week_window(self, small_pop, week_result):
+        t0, t1 = 50, 90
+        net, _ = synthesize_network(
+            week_result.records, small_pop.n_persons, t0, t1
+        )
+        expect = brute_force_collocation(
+            week_result.records, small_pop.n_persons, 0, 168
+        )
+        # oracle must be restricted to the window
+        _, plc = events_to_grid(week_result.records, small_pop.n_persons, 0, 168)
+        W = np.zeros((small_pop.n_persons,) * 2, dtype=np.int64)
+        for h in range(t0, t1):
+            col = plc[:, h]
+            order = np.argsort(col, kind="stable")
+            sc = col[order]
+            starts = np.concatenate(
+                ([0], np.flatnonzero(sc[1:] != sc[:-1]) + 1, [small_pop.n_persons])
+            )
+            for i in range(len(starts) - 1):
+                members = order[starts[i] : starts[i + 1]]
+                if len(members) > 1:
+                    W[np.ix_(members, members)] += 1
+        np.fill_diagonal(W, 0)
+        assert (net.symmetric().toarray() == W).all()
+
+
+class TestOracleFuzz:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(seed=st.integers(0, 2**31), t0=st.integers(0, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_logs_match_brute_force(self, seed, t0):
+        """For arbitrary valid event streams (not just simulator output),
+        the sparse pipeline equals the O(p²t) counting oracle."""
+        rng = np.random.default_rng(seed)
+        n_persons = int(rng.integers(5, 40))
+        n_rec = int(rng.integers(1, 120))
+        start = rng.integers(0, 40, n_rec).astype(np.uint32)
+        stop = start + rng.integers(1, 12, n_rec).astype(np.uint32)
+        from repro.evlog import make_records
+
+        records = make_records(
+            start,
+            stop,
+            rng.integers(0, n_persons, n_rec),
+            rng.integers(0, 4, n_rec),
+            rng.integers(0, 15, n_rec),
+        )
+        t1 = t0 + int(rng.integers(1, 30))
+        net, _ = synthesize_network(records, n_persons, t0, t1)
+        # oracle counts place-hours per pair, allowing a person to appear
+        # in several records at once (binary per (person, place, hour))
+        W = np.zeros((n_persons, n_persons), dtype=np.int64)
+        for h in range(t0, t1):
+            live = records[(records["start"] <= h) & (records["stop"] > h)]
+            present = {}
+            for rec in live:
+                present.setdefault(int(rec["place"]), set()).add(
+                    int(rec["person"])
+                )
+            for members in present.values():
+                members = sorted(members)
+                for i in range(len(members)):
+                    for j in range(i + 1, len(members)):
+                        W[members[i], members[j]] += 1
+                        W[members[j], members[i]] += 1
+        assert (net.symmetric().toarray() == W).all()
+
+
+class TestPools:
+    def test_thread_pool_identical_to_serial(self, small_pop, week_result):
+        serial, _ = synthesize_network(
+            week_result.records, small_pop.n_persons, 0, 168
+        )
+        with ThreadPool(4) as pool:
+            threaded, report = synthesize_network(
+                week_result.records, small_pop.n_persons, 0, 168, pool=pool
+            )
+        assert (serial.adjacency != threaded.adjacency).nnz == 0
+        assert report.n_workers == 4
+        assert report.balance is not None
+
+    def test_process_pool_identical_to_serial(self, small_pop, week_result):
+        serial, _ = synthesize_network(
+            week_result.records, small_pop.n_persons, 0, 168
+        )
+        with make_pool("process", 2) as pool:
+            proc, _ = synthesize_network(
+                week_result.records, small_pop.n_persons, 0, 168, pool=pool
+            )
+        assert (serial.adjacency != proc.adjacency).nnz == 0
+
+
+class TestReport:
+    def test_report_counts(self, small_pop, week_result):
+        _, report = synthesize_network(
+            week_result.records, small_pop.n_persons, 0, 168
+        )
+        assert report.n_records == len(week_result.records)
+        assert report.n_sliced_records == len(week_result.records)
+        assert report.n_places > 0
+        assert report.colloc_nnz_total == small_pop.n_persons * 168
+        assert "timings" in report.summary() or "slice" in report.summary()
+
+    def test_invalid_population(self, week_result):
+        with pytest.raises(SynthesisError):
+            synthesize_network(week_result.records, 0, 0, 168)
+
+
+class TestFromLogs:
+    @pytest.fixture()
+    def log_dir(self, tmp_path, small_pop):
+        cfg = repro.SimulationConfig(
+            scale=small_pop.scale,
+            duration_hours=repro.HOURS_PER_WEEK,
+            n_ranks=6,
+        )
+        part = spatial_partition(
+            small_pop.places.coords(),
+            small_pop.places.capacity.astype(float),
+            6,
+        )
+        repro.DistributedSimulation(small_pop, cfg, part).run(log_dir=tmp_path)
+        return tmp_path
+
+    def test_batched_equals_whole(self, small_pop, week_result, log_dir):
+        whole, _ = synthesize_network(
+            week_result.records, small_pop.n_persons, 10, 100
+        )
+        batched, report = synthesize_from_logs(
+            log_dir, small_pop.n_persons, 10, 100, batch_size=2
+        )
+        assert (whole.adjacency != batched.adjacency).nnz == 0
+        assert report.batches == 3
+
+    def test_place_locality_holds_for_rank_logs(self, log_dir):
+        assert validate_place_locality(LogSet(log_dir), 2)
+
+    def test_place_locality_fails_for_scrambled_logs(
+        self, tmp_path, week_result
+    ):
+        """Randomly split logs spread a place across batches."""
+        parts = np.array_split(week_result.records, 4)
+        d = tmp_path / "scrambled"
+        write_rank_logs(d, parts)
+        assert not validate_place_locality(LogSet(d), 1)
+
+    def test_empty_window(self, small_pop, log_dir):
+        net, _ = synthesize_from_logs(
+            log_dir, small_pop.n_persons, 10_000, 10_001, batch_size=2
+        )
+        assert net.n_edges == 0

@@ -1,0 +1,102 @@
+"""Tests for time slicing and place grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.slicing import (
+    clip_records,
+    records_by_place,
+    slice_records,
+    unique_places,
+)
+from repro.errors import SynthesisError
+from repro.evlog.schema import make_records
+
+
+@pytest.fixture()
+def records():
+    return make_records(
+        start=[0, 5, 10, 20, 30],
+        stop=[6, 12, 15, 25, 40],
+        person=[1, 2, 3, 4, 5],
+        activity=[0] * 5,
+        place=[7, 7, 8, 9, 8],
+    )
+
+
+class TestSlice:
+    def test_keeps_intersecting_only(self, records):
+        out = slice_records(records, 10, 22)
+        assert set(out["person"].tolist()) == {2, 3, 4}
+
+    def test_clips_boundaries(self, records):
+        out = slice_records(records, 10, 22)
+        assert out["start"].min() >= 10
+        assert out["stop"].max() <= 22
+        row = out[out["person"] == 2][0]
+        assert row["start"] == 10 and row["stop"] == 12
+
+    def test_interior_records_untouched(self, records):
+        out = slice_records(records, 0, 100)
+        assert (np.sort(out, order="person") == np.sort(records, order="person")).all()
+
+    def test_empty_window_raises(self, records):
+        with pytest.raises(SynthesisError):
+            slice_records(records, 5, 5)
+
+    def test_no_overlap_returns_empty(self, records):
+        assert len(slice_records(records, 100, 200)) == 0
+
+    def test_touching_boundaries_excluded(self):
+        """[start, stop) semantics: a record ending exactly at t0 or
+        starting exactly at t1 does not intersect."""
+        rec = make_records([0, 10], [5, 20], [1, 2], [0, 0], [0, 0])
+        out = slice_records(rec, 5, 10)
+        assert len(out) == 0
+
+    def test_clip_requires_presliced(self, records):
+        with pytest.raises(SynthesisError):
+            clip_records(records, 100, 200)
+
+    @given(
+        st.integers(0, 50),
+        st.integers(1, 50),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_slice_equals_hourly_presence(self, t0, width, seed):
+        """Sliced person-hours == brute-force per-hour presence check."""
+        rng = np.random.default_rng(seed)
+        n = 40
+        start = rng.integers(0, 80, n).astype(np.uint32)
+        stop = start + rng.integers(1, 20, n).astype(np.uint32)
+        rec = make_records(start, stop, np.arange(n), np.zeros(n), np.zeros(n))
+        t1 = t0 + width
+        out = slice_records(rec, t0, t1)
+        sliced_hours = int((out["stop"] - out["start"]).sum())
+        brute = sum(
+            int(max(0, min(int(b), t1) - max(int(a), t0)))
+            for a, b in zip(start, stop)
+        )
+        assert sliced_hours == brute
+
+
+class TestGrouping:
+    def test_unique_places_sorted(self, records):
+        assert unique_places(records).tolist() == [7, 8, 9]
+
+    def test_groups_cover_everything(self, records):
+        place_ids, groups = records_by_place(records)
+        assert place_ids.tolist() == [7, 8, 9]
+        assert sum(len(g) for g in groups) == len(records)
+        for pid, grp in zip(place_ids, groups):
+            assert (grp["place"] == pid).all()
+
+    def test_empty_records(self):
+        place_ids, groups = records_by_place(make_records([], [], [], [], []))
+        assert len(place_ids) == 0
+        assert groups == []

@@ -1,0 +1,144 @@
+"""Tests for the BSP communicator collectives and traffic metering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distrib import SimCluster
+from repro.distrib.comm import payload_nbytes
+from repro.errors import CommError
+
+
+class TestCollectives:
+    def test_allreduce_sum_scalars(self):
+        result = SimCluster(5).run(lambda c: c.allreduce_sum(c.rank + 1))
+        assert result.returns == [15] * 5
+
+    def test_allreduce_sum_arrays(self):
+        def fn(c):
+            return c.allreduce_sum(np.full(3, c.rank, dtype=np.int64))
+
+        result = SimCluster(4).run(fn)
+        for out in result.returns:
+            assert out.tolist() == [6, 6, 6]
+
+    def test_allreduce_does_not_mutate_input(self):
+        def fn(c):
+            mine = np.full(2, c.rank, dtype=np.int64)
+            c.allreduce_sum(mine)
+            return mine.copy()
+
+        result = SimCluster(3).run(fn)
+        for rank, out in enumerate(result.returns):
+            assert out.tolist() == [rank, rank]
+
+    def test_allgather(self):
+        result = SimCluster(3).run(lambda c: c.allgather(c.rank * 2))
+        assert result.returns == [[0, 2, 4]] * 3
+
+    def test_gather_root_only(self):
+        result = SimCluster(3).run(lambda c: c.gather(c.rank, root=1))
+        assert result.returns[0] is None
+        assert result.returns[1] == [0, 1, 2]
+        assert result.returns[2] is None
+
+    def test_bcast(self):
+        def fn(c):
+            return c.bcast("hello" if c.rank == 2 else None, root=2)
+
+        assert SimCluster(4).run(fn).returns == ["hello"] * 4
+
+    def test_alltoall_permutation(self):
+        def fn(c):
+            sent = [f"{c.rank}->{j}" for j in range(c.size)]
+            return c.alltoall(sent)
+
+        result = SimCluster(3).run(fn)
+        assert result.returns[1] == ["0->1", "1->1", "2->1"]
+
+    def test_alltoall_wrong_length(self):
+        def fn(c):
+            return c.alltoall([None])  # wrong size on all ranks
+
+        with pytest.raises(CommError):
+            SimCluster(3).run(fn)
+
+    def test_reduce_with_custom_fold(self):
+        def fn(c):
+            return c.reduce_with({c.rank}, lambda a, b: a | b)
+
+        result = SimCluster(4).run(fn)
+        assert result.returns[0] == {0, 1, 2, 3}
+
+    def test_consecutive_collectives_isolated(self):
+        """Back-to-back collectives must not read stale slots."""
+        def fn(c):
+            first = c.allgather(c.rank)
+            second = c.allgather(c.rank * 10)
+            return first, second
+
+        result = SimCluster(4).run(fn)
+        for first, second in result.returns:
+            assert first == [0, 1, 2, 3]
+            assert second == [0, 10, 20, 30]
+
+
+class TestTraffic:
+    def test_alltoall_metering_excludes_self(self):
+        def fn(c):
+            payloads = [np.zeros(10, dtype=np.uint8) for _ in range(c.size)]
+            c.alltoall(payloads)
+            return None
+
+        result = SimCluster(4).run(fn)
+        for stats in result.traffic:
+            assert stats.bytes_sent == 30  # 3 foreign ranks x 10 bytes
+            assert stats.messages_sent == 3
+
+    def test_empty_payloads_cost_nothing(self):
+        def fn(c):
+            c.alltoall([None] * c.size)
+            return None
+
+        result = SimCluster(3).run(fn)
+        assert result.total_traffic.bytes_sent == 0
+
+    def test_traffic_merge(self):
+        def fn(c):
+            c.allgather(np.zeros(8, dtype=np.uint8))
+            return None
+
+        result = SimCluster(3).run(fn)
+        total = result.total_traffic
+        assert total.bytes_sent == sum(t.bytes_sent for t in result.traffic)
+        assert "allgather" in total.by_kind
+
+
+class TestPayloadSizing:
+    @pytest.mark.parametrize(
+        "obj,expected",
+        [
+            (None, 0),
+            (b"abcd", 4),
+            (7, 8),
+            (3.14, 8),
+            ("hé", 3),
+            ([b"ab", b"c"], 3),
+            ({"k": b"vv"}, 3),
+        ],
+    )
+    def test_sizes(self, obj, expected):
+        assert payload_nbytes(obj) == expected
+
+    def test_numpy_nbytes(self):
+        assert payload_nbytes(np.zeros((4, 5), dtype=np.float64)) == 160
+
+    def test_arbitrary_object_uses_pickle(self):
+        assert payload_nbytes({1, 2, 3}) > 0  # sets go through pickle
+
+    def test_unpicklable_object_counts_zero(self):
+        class Local:  # local classes cannot pickle
+            pass
+
+        assert payload_nbytes(Local()) == 0

@@ -1,0 +1,117 @@
+"""Tests for the distributed SEIR epidemic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.distrib import (
+    DistributedEpidemicSimulation,
+    spatial_partition,
+)
+from repro.errors import SimulationError
+from repro.sim import DiseaseState
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return repro.generate_population(repro.ScaleConfig(n_persons=600, seed=21))
+
+
+def epi_config(pop, n_ranks, beta=0.02, hours=24 * 10, seeds=4):
+    return repro.SimulationConfig(
+        scale=pop.scale,
+        duration_hours=hours,
+        n_ranks=n_ranks,
+        disease=repro.DiseaseConfig(
+            transmissibility=beta, initial_infected=seeds
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def run4(pop):
+    part = spatial_partition(
+        pop.places.coords(), pop.places.capacity.astype(float), 4
+    )
+    return DistributedEpidemicSimulation(pop, epi_config(pop, 4), part).run()
+
+
+class TestConservation:
+    def test_population_conserved_every_hour(self, pop, run4):
+        assert (run4.seir_per_hour.sum(axis=1) == pop.n_persons).all()
+
+    def test_susceptible_monotone_decreasing(self, run4):
+        sus = run4.seir_per_hour[:, int(DiseaseState.SUSCEPTIBLE)]
+        assert (np.diff(sus) <= 0).all()
+
+    def test_recovered_monotone_increasing(self, run4):
+        rec = run4.seir_per_hour[:, int(DiseaseState.RECOVERED)]
+        assert (np.diff(rec) >= 0).all()
+
+    def test_final_state_consistent_with_curve(self, run4):
+        final_counts = np.bincount(run4.final_state, minlength=4)
+        assert (final_counts == run4.seir_per_hour[-1]).all()
+
+
+class TestEpidemiology:
+    def test_outbreak_spreads(self, run4):
+        assert run4.attack_rate > 0.05
+        assert len(run4.transmissions) > 10
+
+    def test_patient_zeros_marked(self, run4):
+        assert len(run4.patient_zeros) == 4
+        assert (run4.infected_at[run4.patient_zeros] == 0).all()
+
+    def test_infected_at_matches_transmissions(self, run4):
+        for t in run4.transmissions[:50]:
+            assert run4.infected_at[t.infected] == t.hour
+            assert t.infected != t.infector
+
+    def test_transmissions_sorted_by_hour(self, run4):
+        hours = [t.hour for t in run4.transmissions]
+        assert hours == sorted(hours)
+
+
+class TestRankInvariance:
+    def test_conservation_holds_across_rank_counts(self, pop):
+        """Different rank counts give different trajectories (per-rank RNG)
+        but identical structural invariants."""
+        rates = {}
+        for n_ranks in (1, 3):
+            part = spatial_partition(
+                pop.places.coords(), pop.places.capacity.astype(float), n_ranks
+            )
+            res = DistributedEpidemicSimulation(
+                pop, epi_config(pop, n_ranks), part
+            ).run()
+            assert (res.seir_per_hour.sum(axis=1) == pop.n_persons).all()
+            rates[n_ranks] = res.attack_rate
+        # both spread; magnitudes in the same ballpark (same β, same world)
+        assert all(r > 0.02 for r in rates.values())
+
+    def test_zero_beta_never_spreads(self, pop):
+        part = spatial_partition(
+            pop.places.coords(), pop.places.capacity.astype(float), 2
+        )
+        res = DistributedEpidemicSimulation(
+            pop, epi_config(pop, 2, beta=0.0, hours=48), part
+        ).run()
+        assert res.attack_rate == pytest.approx(4 / pop.n_persons)
+        assert len(res.transmissions) == 0
+
+
+class TestValidation:
+    def test_requires_disease_config(self, pop):
+        part = spatial_partition(
+            pop.places.coords(), pop.places.capacity.astype(float), 2
+        )
+        cfg = repro.SimulationConfig(scale=pop.scale, n_ranks=2)
+        with pytest.raises(SimulationError):
+            DistributedEpidemicSimulation(pop, cfg, part)
+
+    def test_partition_mismatch(self, pop):
+        bad = repro.PlacePartition(np.zeros(3, dtype=np.int32), 1)
+        with pytest.raises(SimulationError):
+            DistributedEpidemicSimulation(pop, epi_config(pop, 1), bad)

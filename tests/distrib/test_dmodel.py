@@ -1,0 +1,133 @@
+"""Tests for the distributed model: the serial-equivalence invariant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import DiseaseConfig, ScaleConfig, SimulationConfig
+from repro.distrib import (
+    DistributedSimulation,
+    random_partition,
+    spatial_partition,
+)
+from repro.errors import SimulationError
+from repro.evlog import LogSet
+from repro.sim import Simulation
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return repro.generate_population(ScaleConfig(n_persons=400, seed=11))
+
+
+@pytest.fixture(scope="module")
+def serial_sorted(pop):
+    cfg = SimulationConfig(scale=pop.scale, duration_hours=repro.HOURS_PER_WEEK)
+    rec = Simulation(pop, cfg).run_fast().records
+    return rec[np.lexsort((rec["start"], rec["person"]))]
+
+
+def dist_config(pop, n_ranks, hours=repro.HOURS_PER_WEEK):
+    return SimulationConfig(
+        scale=pop.scale, duration_hours=hours, n_ranks=n_ranks
+    )
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 5, 8])
+    def test_event_stream_identical(self, pop, serial_sorted, n_ranks):
+        part = spatial_partition(
+            pop.places.coords(), pop.places.capacity.astype(float), n_ranks
+        )
+        res = DistributedSimulation(pop, dist_config(pop, n_ranks), part).run()
+        merged = res.merged_records()
+        assert len(merged) == len(serial_sorted)
+        assert (merged == serial_sorted).all()
+
+    def test_random_partition_also_equivalent(self, pop, serial_sorted, rng):
+        part = random_partition(pop.n_places, 4, rng)
+        res = DistributedSimulation(pop, dist_config(pop, 4), part).run()
+        assert (res.merged_records() == serial_sorted).all()
+
+
+class TestMigration:
+    def test_spatial_migrates_less_than_random(self, pop, rng):
+        cfg = dist_config(pop, 6)
+        spatial = spatial_partition(
+            pop.places.coords(), pop.places.capacity.astype(float), 6
+        )
+        rand = random_partition(pop.n_places, 6, rng)
+        m_spatial = DistributedSimulation(pop, cfg, spatial).run().total_migrations
+        m_random = DistributedSimulation(pop, cfg, rand).run().total_migrations
+        assert m_spatial < m_random
+
+    def test_single_rank_never_migrates(self, pop):
+        part = repro.PlacePartition(
+            np.zeros(pop.n_places, dtype=np.int32), 1
+        )
+        res = DistributedSimulation(pop, dist_config(pop, 1), part).run()
+        assert res.total_migrations == 0
+        assert res.traffic.bytes_sent == 0
+
+    def test_traffic_proportional_to_migrations(self, pop):
+        part = spatial_partition(
+            pop.places.coords(), pop.places.capacity.astype(float), 4
+        )
+        res = DistributedSimulation(pop, dist_config(pop, 4), part).run()
+        # 20 bytes per migrant payload entry
+        assert res.traffic.by_kind.get("alltoall", 0) == res.total_migrations * 20
+
+
+class TestRankLogs:
+    def test_per_rank_files_written_and_complete(self, pop, tmp_path):
+        part = spatial_partition(
+            pop.places.coords(), pop.places.capacity.astype(float), 4
+        )
+        res = DistributedSimulation(pop, dist_config(pop, 4), part).run(
+            log_dir=tmp_path
+        )
+        logs = LogSet(tmp_path)
+        assert len(logs) == 4
+        assert logs.total_records() == res.total_events
+        merged_disk = logs.read_all()
+        merged_disk = merged_disk[
+            np.lexsort((merged_disk["start"], merged_disk["person"]))
+        ]
+        assert (merged_disk == res.merged_records()).all()
+
+    def test_rank_logs_only_own_places(self, pop, tmp_path):
+        """Section III: each rank logs only activity on its own places."""
+        part = spatial_partition(
+            pop.places.coords(), pop.places.capacity.astype(float), 4
+        )
+        DistributedSimulation(pop, dist_config(pop, 4), part).run(
+            log_dir=tmp_path
+        )
+        for reader in LogSet(tmp_path).iter_readers():
+            rec = reader.read_all()
+            owners = part.assignment[rec["place"].astype(np.int64)]
+            assert (owners == reader.rank).all()
+
+
+class TestValidation:
+    def test_rejects_disease(self, pop):
+        part = repro.PlacePartition(np.zeros(pop.n_places, dtype=np.int32), 1)
+        cfg = SimulationConfig(
+            scale=pop.scale,
+            n_ranks=1,
+            disease=DiseaseConfig(initial_infected=1),
+        )
+        with pytest.raises(SimulationError):
+            DistributedSimulation(pop, cfg, part)
+
+    def test_rejects_partition_size_mismatch(self, pop):
+        part = repro.PlacePartition(np.zeros(5, dtype=np.int32), 1)
+        with pytest.raises(SimulationError):
+            DistributedSimulation(pop, dist_config(pop, 1), part)
+
+    def test_rejects_rank_count_mismatch(self, pop):
+        part = repro.PlacePartition(np.zeros(pop.n_places, dtype=np.int32), 1)
+        with pytest.raises(SimulationError):
+            DistributedSimulation(pop, dist_config(pop, 2), part)

@@ -1,0 +1,59 @@
+"""Tests for migrant payload packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distrib import MIGRANT_DTYPE, pack_migrants, unpack_migrants
+from repro.errors import CommError
+
+
+class TestPack:
+    def test_roundtrip(self):
+        m = pack_migrants(
+            np.array([1, 2], dtype=np.uint32),
+            np.array([10, 20], dtype=np.int64),
+            np.array([0, 1], dtype=np.uint32),
+            np.array([5, 6], dtype=np.uint32),
+        )
+        assert m.dtype == MIGRANT_DTYPE
+        assert m["person"].tolist() == [1, 2]
+        assert m["spell_start"].tolist() == [10, 20]
+
+    def test_length_mismatch(self):
+        with pytest.raises(CommError):
+            pack_migrants(
+                np.array([1], dtype=np.uint32),
+                np.array([10, 20], dtype=np.int64),
+                np.array([0], dtype=np.uint32),
+                np.array([5], dtype=np.uint32),
+            )
+
+    def test_fixed_width_wire_size(self):
+        """16 bytes per migrating agent — flat, meterable payloads."""
+        assert MIGRANT_DTYPE.itemsize == 20
+        m = pack_migrants(
+            np.arange(10, dtype=np.uint32),
+            np.arange(10, dtype=np.int64),
+            np.zeros(10, dtype=np.uint32),
+            np.zeros(10, dtype=np.uint32),
+        )
+        assert m.nbytes == 10 * MIGRANT_DTYPE.itemsize
+
+
+class TestUnpack:
+    def test_concatenates_skipping_empty(self):
+        a = pack_migrants(
+            np.array([1], dtype=np.uint32),
+            np.array([0], dtype=np.int64),
+            np.array([0], dtype=np.uint32),
+            np.array([0], dtype=np.uint32),
+        )
+        out = unpack_migrants([None, a, np.empty(0, dtype=MIGRANT_DTYPE), a])
+        assert len(out) == 2
+
+    def test_all_empty(self):
+        out = unpack_migrants([None, None])
+        assert len(out) == 0
+        assert out.dtype == MIGRANT_DTYPE

@@ -1,0 +1,173 @@
+"""Tests for place partitioning: baselines, RCB, refinement, migration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distrib import (
+    PlacePartition,
+    estimate_migration,
+    movement_matrix,
+    random_partition,
+    refine_partition,
+    round_robin_partition,
+    spatial_partition,
+)
+from repro.errors import PartitionError
+
+
+class TestPlacePartition:
+    def test_validates_rank_range(self):
+        with pytest.raises(PartitionError):
+            PlacePartition(np.array([0, 3]), n_ranks=2)
+        with pytest.raises(PartitionError):
+            PlacePartition(np.array([-1, 0]), n_ranks=2)
+
+    def test_places_of_rank(self):
+        p = PlacePartition(np.array([0, 1, 0, 1]), 2)
+        assert p.places_of_rank(0).tolist() == [0, 2]
+
+    def test_rank_counts_and_imbalance(self):
+        p = PlacePartition(np.array([0, 0, 0, 1]), 2)
+        assert p.rank_counts().tolist() == [3, 1]
+        assert p.imbalance() == pytest.approx(1.5)
+
+    def test_weighted_imbalance(self):
+        p = PlacePartition(np.array([0, 1]), 2)
+        assert p.imbalance(np.array([3.0, 1.0])) == pytest.approx(1.5)
+
+
+class TestBaselines:
+    def test_round_robin_perfectly_balanced(self):
+        p = round_robin_partition(100, 4)
+        assert p.rank_counts().tolist() == [25, 25, 25, 25]
+
+    def test_random_uses_all_ranks(self, rng):
+        p = random_partition(1000, 8, rng)
+        assert (p.rank_counts() > 0).all()
+
+
+class TestSpatial:
+    def test_all_ranks_used_and_balanced(self, rng):
+        coords = rng.uniform(0, 40, (2000, 2))
+        p = spatial_partition(coords, None, 7)  # non-power-of-two
+        counts = p.rank_counts()
+        assert (counts > 0).all()
+        assert p.imbalance() < 1.2
+
+    def test_weighted_balance(self, rng):
+        coords = rng.uniform(0, 40, (2000, 2))
+        weights = rng.lognormal(0, 1, 2000)
+        p = spatial_partition(coords, weights, 8)
+        assert p.imbalance(weights) < 1.4
+
+    def test_spatial_contiguity(self, rng):
+        """Places in one rank should be geographically compact: the mean
+        within-rank spread must beat the global spread."""
+        coords = rng.uniform(0, 40, (4000, 2))
+        p = spatial_partition(coords, None, 16)
+        global_std = coords.std(axis=0).mean()
+        rank_stds = [
+            coords[p.places_of_rank(r)].std(axis=0).mean()
+            for r in range(16)
+        ]
+        assert np.mean(rank_stds) < global_std / 2
+
+    def test_single_rank(self, rng):
+        coords = rng.uniform(0, 1, (10, 2))
+        p = spatial_partition(coords, None, 1)
+        assert (p.assignment == 0).all()
+
+    def test_rejects_bad_coords(self):
+        with pytest.raises(PartitionError):
+            spatial_partition(np.zeros(5), None, 2)
+
+    def test_rejects_negative_weights(self, rng):
+        with pytest.raises(PartitionError):
+            spatial_partition(rng.uniform(0, 1, (5, 2)), np.array([1, -1, 1, 1, 1]), 2)
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_total_cover(self, n_ranks, n_places, seed):
+        """Every place assigned exactly once; ranks within range."""
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 10, (n_places, 2))
+        p = spatial_partition(coords, None, n_ranks)
+        assert len(p.assignment) == n_places
+        assert p.assignment.min() >= 0
+        assert p.assignment.max() < n_ranks
+        assert int(p.rank_counts().sum()) == n_places
+
+
+class TestMovement:
+    def test_movement_matrix_counts_transitions(self):
+        grid = np.array([[0, 0, 1, 1, 0], [2, 2, 2, 3, 3]], dtype=np.uint32)
+        m = movement_matrix(grid, 4)
+        assert m[0, 1] == 1
+        assert m[1, 0] == 1
+        assert m[2, 3] == 1
+        assert m.sum() == 3  # diagonal (staying) excluded
+
+    def test_rejects_out_of_range_place(self):
+        grid = np.array([[0, 9]], dtype=np.uint32)
+        with pytest.raises(PartitionError):
+            movement_matrix(grid, 4)
+
+    def test_estimate_migration(self):
+        grid = np.array([[0, 1, 0, 1]], dtype=np.uint32)
+        m = movement_matrix(grid, 2)
+        same = PlacePartition(np.array([0, 0]), 2)
+        split = PlacePartition(np.array([0, 1]), 2)
+        assert estimate_migration(same, m) == 0
+        assert estimate_migration(split, m) == 3
+
+
+class TestRefinement:
+    def test_refinement_never_increases_migration(self, small_pop):
+        grid = small_pop.schedule_generator().week(0)
+        movement = movement_matrix(grid.place, small_pop.n_places)
+        coords = small_pop.places.coords()
+        weights = small_pop.places.capacity.astype(float)
+        base = spatial_partition(coords, weights, 6)
+        refined = refine_partition(base, movement, weights)
+        assert estimate_migration(refined, movement) <= estimate_migration(
+            base, movement
+        )
+
+    def test_refinement_respects_balance(self, small_pop):
+        grid = small_pop.schedule_generator().week(0)
+        movement = movement_matrix(grid.place, small_pop.n_places)
+        weights = small_pop.places.capacity.astype(float)
+        base = round_robin_partition(small_pop.n_places, 4)
+        refined = refine_partition(base, movement, weights, balance_tol=1.10)
+        assert refined.imbalance(weights) <= 1.15  # tol + rounding slack
+
+    def test_single_rank_noop(self, small_pop):
+        grid = small_pop.schedule_generator().week(0)
+        movement = movement_matrix(grid.place, small_pop.n_places)
+        base = PlacePartition(np.zeros(small_pop.n_places, dtype=np.int32), 1)
+        refined = refine_partition(base, movement)
+        assert (refined.assignment == 0).all()
+
+
+class TestPartitionQualityOrdering:
+    def test_spatial_beats_random(self, small_pop, rng):
+        """The paper's premise: spatial partitioning reduces migration."""
+        grid = small_pop.schedule_generator().week(0)
+        movement = movement_matrix(grid.place, small_pop.n_places)
+        coords = small_pop.places.coords()
+        weights = small_pop.places.capacity.astype(float)
+        rand = estimate_migration(
+            random_partition(small_pop.n_places, 8, rng), movement
+        )
+        spat = estimate_migration(
+            spatial_partition(coords, weights, 8), movement
+        )
+        assert spat < rand

@@ -1,0 +1,70 @@
+"""Tests for the simulated cluster runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distrib import SimCluster
+from repro.errors import CommError
+
+
+class TestLifecycle:
+    def test_single_rank_fast_path(self):
+        result = SimCluster(1).run(lambda c: c.allreduce_sum(41) + 1)
+        assert result.returns == [42]
+
+    def test_rank_args(self):
+        result = SimCluster(3).run(
+            lambda c, base: base + c.rank, rank_args=[(10,), (20,), (30,)]
+        )
+        assert result.returns == [10, 21, 32]
+
+    def test_rank_args_length_checked(self):
+        with pytest.raises(CommError):
+            SimCluster(3).run(lambda c, x: x, rank_args=[(1,)])
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(CommError):
+            SimCluster(0)
+
+    def test_returns_ordered_by_rank(self):
+        result = SimCluster(6).run(lambda c: c.rank)
+        assert result.returns == list(range(6))
+
+
+class TestFailurePropagation:
+    def test_rank_exception_propagates(self):
+        def fn(c):
+            if c.rank == 2:
+                raise ValueError("rank 2 exploded")
+            c.barrier()  # other ranks wait here; barrier must break
+
+        with pytest.raises(CommError, match="rank 2"):
+            SimCluster(4).run(fn)
+
+    def test_root_cause_preferred_over_broken_barrier(self):
+        def fn(c):
+            c.barrier()
+            if c.rank == 0:
+                raise RuntimeError("the real bug")
+            c.barrier()
+
+        with pytest.raises(CommError, match="real bug"):
+            SimCluster(3).run(fn)
+
+    def test_single_rank_exception(self):
+        with pytest.raises(CommError):
+            SimCluster(1).run(lambda c: 1 / 0)
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        def fn(c):
+            total = 0
+            for i in range(20):
+                total += c.allreduce_sum(c.rank * i)
+            return total
+
+        a = SimCluster(4).run(fn).returns
+        b = SimCluster(4).run(fn).returns
+        assert a == b

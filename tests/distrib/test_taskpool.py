@@ -1,0 +1,77 @@
+"""Tests for the SNOW-style worker pools."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.distrib import ProcessPool, SerialPool, ThreadPool, make_pool
+from repro.errors import PartitionError
+
+
+def square(x):
+    return x * x
+
+
+class TestSerialPool:
+    def test_map_preserves_order(self):
+        with SerialPool() as pool:
+            assert pool.map(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_closed_pool_rejects_map(self):
+        pool = SerialPool()
+        pool.close()
+        with pytest.raises(PartitionError):
+            pool.map(square, [1])
+
+    def test_n_workers(self):
+        assert SerialPool().n_workers == 1
+
+
+class TestThreadPool:
+    def test_map_preserves_order(self):
+        with ThreadPool(4) as pool:
+            assert pool.map(square, list(range(20))) == [i * i for i in range(20)]
+
+    def test_exception_propagates(self):
+        def boom(x):
+            raise ValueError("boom")
+
+        with ThreadPool(2) as pool:
+            with pytest.raises(ValueError):
+                pool.map(boom, [1, 2])
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(PartitionError):
+            ThreadPool(0)
+
+
+class TestProcessPool:
+    def test_map_preserves_order(self):
+        with ProcessPool(2) as pool:
+            assert pool.map(square, list(range(30))) == [i * i for i in range(30)]
+
+    def test_empty_items(self):
+        with ProcessPool(2) as pool:
+            assert pool.map(square, []) == []
+
+    def test_default_worker_count(self):
+        with ProcessPool() as pool:
+            assert pool.n_workers == (os.cpu_count() or 1)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("serial", SerialPool), ("thread", ThreadPool), ("process", ProcessPool),
+    ])
+    def test_kinds(self, kind, cls):
+        pool = make_pool(kind, 2)
+        try:
+            assert isinstance(pool, cls)
+        finally:
+            pool.close()
+
+    def test_unknown_kind(self):
+        with pytest.raises(PartitionError):
+            make_pool("gpu")

@@ -1,0 +1,113 @@
+"""Tests for the EVL container framing (header/chunk/index/trailer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LogCorruptError, LogFormatError, LogTruncatedError
+from repro.evlog.format import (
+    ChunkInfo,
+    HEADER_BYTES,
+    pack_chunk,
+    pack_header,
+    pack_index,
+    pack_trailer,
+    read_chunk_at,
+    unpack_header,
+    unpack_index,
+    unpack_trailer,
+)
+from repro.evlog.schema import records_to_bytes
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        h = unpack_header(pack_header(rank=7, compressed=True))
+        assert h.rank == 7
+        assert h.compressed
+        assert h.record_bytes == 20
+
+    def test_bad_magic(self):
+        with pytest.raises(LogFormatError, match="magic"):
+            unpack_header(b"NOPE" + b"\x00" * 20)
+
+    def test_too_short(self):
+        with pytest.raises(LogTruncatedError):
+            unpack_header(b"EV")
+
+
+class TestChunks:
+    def _image(self, random_records, n=100):
+        return records_to_bytes(random_records[:n]), n
+
+    def test_roundtrip_uncompressed(self, random_records):
+        image, n = self._image(random_records)
+        framed = pack_chunk(image, n, compress=False)
+        out, count, next_off = read_chunk_at(framed, 0, compressed=False)
+        assert out == image
+        assert count == n
+        assert next_off == len(framed)
+
+    def test_roundtrip_compressed(self, random_records):
+        image, n = self._image(random_records)
+        framed = pack_chunk(image, n, compress=True)
+        assert len(framed) < len(image)  # compression actually shrinks
+        out, count, _ = read_chunk_at(framed, 0, compressed=True)
+        assert out == image
+
+    def test_crc_detects_corruption(self, random_records):
+        image, n = self._image(random_records)
+        framed = bytearray(pack_chunk(image, n, compress=False))
+        framed[30] ^= 0xFF  # flip a payload byte
+        with pytest.raises(LogCorruptError, match="CRC"):
+            read_chunk_at(bytes(framed), 0, compressed=False)
+
+    def test_truncated_payload(self, random_records):
+        image, n = self._image(random_records)
+        framed = pack_chunk(image, n, compress=False)
+        with pytest.raises(LogTruncatedError):
+            read_chunk_at(framed[: len(framed) // 2], 0, compressed=False)
+
+    def test_truncated_header(self):
+        with pytest.raises(LogTruncatedError):
+            read_chunk_at(b"CH", 0, compressed=False)
+
+    def test_wrong_magic_at_offset(self):
+        with pytest.raises(LogFormatError):
+            read_chunk_at(b"XXXX" + b"\x00" * 12, 0, compressed=False)
+
+    def test_count_mismatch_detected(self, random_records):
+        image, n = self._image(random_records)
+        framed = pack_chunk(image, n + 1, compress=False)  # lie about count
+        with pytest.raises(LogCorruptError, match="declares"):
+            read_chunk_at(framed, 0, compressed=False)
+
+
+class TestIndexTrailer:
+    def test_index_roundtrip(self):
+        chunks = [
+            ChunkInfo(offset=24, n_records=10, t_min=0, t_max=5),
+            ChunkInfo(offset=300, n_records=7, t_min=4, t_max=20),
+        ]
+        blob = pack_index(chunks)
+        back = unpack_index(blob, 0)
+        assert back == chunks
+
+    def test_trailer_roundtrip(self):
+        blob = b"\x00" * HEADER_BYTES + pack_trailer(HEADER_BYTES, 17)
+        assert unpack_trailer(blob) == (HEADER_BYTES, 17)
+
+    def test_trailer_absent(self):
+        assert unpack_trailer(b"\x00" * 64) is None
+
+    def test_trailer_with_bogus_offset(self):
+        blob = b"\x00" * HEADER_BYTES + pack_trailer(10_000, 17)
+        assert unpack_trailer(blob) is None
+
+    def test_chunk_overlap_logic(self):
+        c = ChunkInfo(offset=0, n_records=1, t_min=10, t_max=20)
+        assert c.overlaps(15, 16)
+        assert c.overlaps(0, 11)
+        assert c.overlaps(19, 30)
+        assert not c.overlaps(20, 30)  # t_max is exclusive stop bound
+        assert not c.overlaps(0, 10)

@@ -1,0 +1,96 @@
+"""Tests for per-rank log sets and batch iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LogFormatError
+from repro.evlog import LogSet, write_rank_logs
+from repro.evlog.multifile import rank_log_path
+
+
+@pytest.fixture()
+def log_dir(tmp_path, random_records):
+    parts = np.array_split(random_records, 6)
+    write_rank_logs(tmp_path, parts, cache_records=300)
+    return tmp_path, parts
+
+
+class TestDiscovery:
+    def test_finds_all_ranks_in_order(self, log_dir):
+        d, parts = log_dir
+        ls = LogSet(d)
+        assert len(ls) == 6
+        assert ls.ranks == list(range(6))
+
+    def test_rank_path_format(self, tmp_path):
+        assert rank_log_path(tmp_path, 7).name == "rank_0007.evl"
+
+    def test_ignores_foreign_files(self, log_dir):
+        d, _ = log_dir
+        (d / "notes.txt").write_text("hello")
+        (d / "rank_bad.evl").write_text("nope")
+        assert len(LogSet(d)) == 6
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(LogFormatError):
+            LogSet(tmp_path)
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(LogFormatError):
+            LogSet(tmp_path / "nope")
+
+
+class TestAggregation:
+    def test_total_records(self, log_dir):
+        d, parts = log_dir
+        assert LogSet(d).total_records() == sum(len(p) for p in parts)
+
+    def test_read_all_union(self, log_dir):
+        d, parts = log_dir
+        merged = LogSet(d).read_all()
+        expect = np.concatenate(parts)
+        assert (np.sort(merged, order=["person", "start", "place"])
+                == np.sort(expect, order=["person", "start", "place"])).all()
+
+    def test_read_time_slice_union(self, log_dir):
+        d, parts = log_dir
+        out = LogSet(d).read_time_slice(30, 60)
+        expect = np.concatenate(parts)
+        mask = (expect["start"] < 60) & (expect["stop"] > 30)
+        assert len(out) == mask.sum()
+
+    def test_total_bytes_positive(self, log_dir):
+        d, _ = log_dir
+        assert LogSet(d).total_bytes() > 0
+
+
+class TestBatching:
+    def test_batches_partition_files(self, log_dir):
+        d, _ = log_dir
+        ls = LogSet(d)
+        batches = list(ls.batches(4))
+        assert [len(b) for b in batches] == [4, 2]
+        flat = [p for b in batches for p in b]
+        assert flat == ls.paths
+
+    def test_batch_size_one(self, log_dir):
+        d, _ = log_dir
+        assert len(list(LogSet(d).batches(1))) == 6
+
+    def test_batch_size_bigger_than_set(self, log_dir):
+        d, _ = log_dir
+        assert len(list(LogSet(d).batches(100))) == 1
+
+    def test_invalid_batch_size(self, log_dir):
+        d, _ = log_dir
+        with pytest.raises(ValueError):
+            list(LogSet(d).batches(0))
+
+    def test_reader_access_by_index(self, log_dir):
+        d, parts = log_dir
+        ls = LogSet(d)
+        r = ls.reader(2)
+        assert r.rank == 2
+        assert (r.read_all() == parts[2]).all()

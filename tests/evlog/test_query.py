@@ -1,0 +1,120 @@
+"""Tests for demographic log queries (paper Section III cross-reference)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import AnalysisError
+from repro.evlog.query import (
+    activity_time_budget,
+    contacts_of_person,
+    describe_records,
+    filter_by_activity,
+    filter_by_person_mask,
+    filter_by_persons,
+    filter_by_place_kind,
+    place_kind_exposure,
+)
+from repro.synthpop.places import PlaceKind
+from repro.synthpop.schedule import ACTIVITY_NAMES, Activity
+
+
+class TestFilters:
+    def test_filter_by_persons(self, week_result):
+        out = filter_by_persons(week_result.records, np.array([3, 7]))
+        assert set(np.unique(out["person"])) <= {3, 7}
+        assert len(out) > 0
+
+    def test_filter_by_demographic_mask(self, week_result, small_pop):
+        seniors = small_pop.persons.age >= 65
+        out = filter_by_person_mask(week_result.records, small_pop.persons, seniors)
+        assert (small_pop.persons.age[out["person"].astype(np.int64)] >= 65).all()
+        # total records conserved across the split
+        rest = filter_by_person_mask(
+            week_result.records, small_pop.persons, ~seniors
+        )
+        assert len(out) + len(rest) == len(week_result.records)
+
+    def test_mask_shape_checked(self, week_result, small_pop):
+        with pytest.raises(AnalysisError):
+            filter_by_person_mask(
+                week_result.records, small_pop.persons, np.zeros(3, dtype=bool)
+            )
+
+    def test_filter_by_place_kind(self, week_result, small_pop):
+        out = filter_by_place_kind(
+            week_result.records, small_pop.places, PlaceKind.SCHOOL
+        )
+        kinds = small_pop.places.kind[out["place"].astype(np.int64)]
+        assert (kinds == int(PlaceKind.SCHOOL)).all()
+        assert len(out) > 0
+
+    def test_filter_by_activity(self, week_result):
+        out = filter_by_activity(week_result.records, [int(Activity.AT_WORK)])
+        assert (out["activity"] == int(Activity.AT_WORK)).all()
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(AnalysisError):
+            filter_by_persons(np.zeros(3, dtype=np.uint32), np.array([1]))
+
+
+class TestAggregations:
+    def test_activity_budget_sums_to_total_person_hours(
+        self, week_result, small_pop
+    ):
+        budget = activity_time_budget(week_result.records)
+        assert budget.sum() == small_pop.n_persons * repro.HOURS_PER_WEEK
+        # home dominates (nights + home-bodies)
+        assert budget[int(Activity.AT_HOME)] == budget.max()
+
+    def test_place_kind_exposure(self, week_result, small_pop):
+        exposure = place_kind_exposure(week_result.records, small_pop.places)
+        assert sum(exposure.values()) == small_pop.n_persons * repro.HOURS_PER_WEEK
+        assert exposure["home"] > exposure["school"]
+        assert exposure["school"] > 0 and exposure["workplace"] > 0
+
+    def test_describe_records_readable(self, week_result):
+        names = {int(k): v for k, v in ACTIVITY_NAMES.items()}
+        lines = describe_records(week_result.records, names, limit=5)
+        assert len(lines) == 5
+        assert "person" in lines[0] and "during hours" in lines[0]
+
+
+class TestContacts:
+    def test_contacts_match_grid_reconstruction(self, week_result, small_pop):
+        """Interval-based contact query == grid-based reconstruction."""
+        from repro.sim.events import events_to_grid
+
+        person, t0, t1 = 5, 30, 40
+        got = contacts_of_person(week_result.records, person, t0, t1)
+        _, plc = events_to_grid(
+            week_result.records, small_pop.n_persons, t0, t1
+        )
+        expect = set()
+        for h in range(t1 - t0):
+            here = plc[person, h]
+            expect.update(
+                int(p) for p in np.flatnonzero(plc[:, h] == here)
+            )
+        expect.discard(person)
+        assert set(got.tolist()) == expect
+
+    def test_household_always_in_contacts(self, week_result, small_pop):
+        hh = small_pop.persons.household
+        counts = np.bincount(hh)
+        multi = np.flatnonzero(counts[hh] >= 2)
+        person = int(multi[0])
+        mates = set(np.flatnonzero(hh == hh[person]).tolist()) - {person}
+        got = set(
+            contacts_of_person(
+                week_result.records, person, 0, repro.HOURS_PER_WEEK
+            ).tolist()
+        )
+        assert mates <= got
+
+    def test_unknown_person_empty(self, week_result):
+        # person ids are uint32; an unused id yields no contacts
+        got = contacts_of_person(week_result.records, 2**31, 0, 10)
+        assert len(got) == 0

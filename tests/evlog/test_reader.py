@@ -1,0 +1,136 @@
+"""Tests for the EVL reader: index reads, time slices, recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LogFormatError, LogTruncatedError
+from repro.evlog import CachedLogWriter, LogReader
+
+
+@pytest.fixture()
+def written(tmp_path, random_records):
+    path = tmp_path / "log.evl"
+    with CachedLogWriter(path, rank=2, cache_records=500) as w:
+        w.log_batch(random_records)
+    return path, random_records
+
+
+class TestIndexedRead:
+    def test_read_all(self, written):
+        path, rec = written
+        r = LogReader(path)
+        assert not r.recovered
+        assert r.n_records == len(rec)
+        assert r.n_chunks == 10
+        assert (r.read_all() == rec).all()
+
+    def test_iter_chunks_concatenates_to_all(self, written):
+        path, rec = written
+        r = LogReader(path)
+        parts = list(r.iter_chunks())
+        assert sum(len(p) for p in parts) == len(rec)
+        assert (np.concatenate(parts) == rec).all()
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.evl"
+        CachedLogWriter(path).close()
+        r = LogReader(path)
+        assert r.n_records == 0
+        assert len(r.read_all()) == 0
+
+
+class TestTimeSlice:
+    def test_slice_matches_mask(self, written):
+        path, rec = written
+        r = LogReader(path)
+        out = r.read_time_slice(40, 80)
+        mask = (rec["start"] < 80) & (rec["stop"] > 40)
+        assert len(out) == mask.sum()
+        # same multiset of records
+        assert (np.sort(out, order=["person", "start", "place"])
+                == np.sort(rec[mask], order=["person", "start", "place"])).all()
+
+    def test_slice_prunes_chunks(self, tmp_path):
+        """Time-ordered logs let the index skip most chunks."""
+        path = tmp_path / "ordered.evl"
+        with CachedLogWriter(path, cache_records=100) as w:
+            for t in range(1000):
+                w.log(t, t + 1, t % 50, 0, t % 20)
+        r = LogReader(path)
+        assert r.n_chunks == 10
+        assert r.chunks_overlapping(0, 100) == 1
+        out = r.read_time_slice(0, 100)
+        assert len(out) == 100
+
+    def test_empty_slice_raises(self, written):
+        path, _ = written
+        with pytest.raises(ValueError):
+            LogReader(path).read_time_slice(10, 10)
+
+    def test_slice_outside_data(self, written):
+        path, _ = written
+        assert len(LogReader(path).read_time_slice(10_000, 10_001)) == 0
+
+
+class TestRecovery:
+    def test_truncated_file_recovers_prefix(self, written):
+        path, rec = written
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) * 2 // 3])
+        r = LogReader(path)
+        assert r.recovered
+        assert 0 < r.n_records < len(rec)
+        assert (r.read_all() == rec[: r.n_records]).all()
+
+    def test_strict_mode_raises_on_truncation(self, written):
+        path, _ = written
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(LogTruncatedError):
+            LogReader(path, strict=True)
+
+    def test_corrupt_chunk_stops_recovery(self, written):
+        path, rec = written
+        blob = bytearray(path.read_bytes())
+        # remove trailer, then corrupt a mid-file payload byte
+        blob = blob[: len(blob) - 20]
+        blob[15_000] ^= 0xFF  # inside the second 500-record chunk
+        path.write_bytes(bytes(blob))
+        r = LogReader(path)
+        assert r.recovered
+        assert 0 < r.n_records < len(rec)
+
+    def test_not_an_evl_file(self, tmp_path):
+        path = tmp_path / "bad.evl"
+        path.write_bytes(b"definitely not an EVL file" * 10)
+        with pytest.raises(LogFormatError):
+            LogReader(path)
+
+    def test_index_record_count_mismatch(self, written):
+        """A trailer whose total contradicts the index is rejected."""
+        path, _ = written
+        blob = bytearray(path.read_bytes())
+        blob[-12] ^= 0x01  # perturb total_records in the trailer
+        path.write_bytes(bytes(blob))
+        with pytest.raises(LogFormatError, match="records"):
+            LogReader(path)
+
+
+class TestCompressedRead:
+    def test_roundtrip(self, tmp_path, random_records):
+        path = tmp_path / "z.evl"
+        with CachedLogWriter(path, cache_records=700, compress=True) as w:
+            w.log_batch(random_records)
+        r = LogReader(path)
+        assert r.header.compressed
+        assert (r.read_all() == random_records).all()
+
+    def test_sliced_read(self, tmp_path, random_records):
+        path = tmp_path / "z.evl"
+        with CachedLogWriter(path, compress=True) as w:
+            w.log_batch(random_records)
+        out = LogReader(path).read_time_slice(0, 50)
+        mask = (random_records["start"] < 50) & (random_records["stop"] > 0)
+        assert len(out) == mask.sum()

@@ -1,0 +1,105 @@
+"""Tests for the 20-byte log record schema."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogFormatError
+from repro.evlog.schema import (
+    LOG_DTYPE,
+    LOG_FIELDS,
+    RECORD_BYTES,
+    empty_records,
+    make_records,
+    records_from_bytes,
+    records_to_bytes,
+    validate_records,
+)
+
+
+class TestSchema:
+    def test_record_is_exactly_20_bytes(self):
+        """The paper's log entry is 20 bytes: 5 × 4-byte unsigned ints."""
+        assert RECORD_BYTES == 20
+        assert LOG_DTYPE.itemsize == 20
+        assert all(LOG_DTYPE[name] == np.dtype("<u4") for name in LOG_FIELDS)
+
+    def test_field_order(self):
+        assert LOG_FIELDS == ("start", "stop", "person", "activity", "place")
+
+
+class TestMakeRecords:
+    def test_basic(self):
+        rec = make_records([0, 5], [3, 9], [1, 2], [0, 1], [10, 11])
+        assert len(rec) == 2
+        assert rec["stop"].tolist() == [3, 9]
+
+    def test_rejects_stop_before_start(self):
+        with pytest.raises(LogFormatError):
+            make_records([5], [5], [0], [0], [0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(LogFormatError):
+            make_records([0, 1], [2, 3], [0], [0, 0], [0, 0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_records([0], [2**33], [0], [0], [0])
+
+    def test_validate_rejects_wrong_dtype(self):
+        with pytest.raises(LogFormatError):
+            validate_records(np.zeros(3, dtype=np.uint32))
+
+    def test_validate_rejects_bad_interval(self):
+        rec = empty_records(1)
+        rec["start"] = 5
+        rec["stop"] = 5
+        with pytest.raises(LogFormatError):
+            validate_records(rec)
+
+
+class TestByteImage:
+    def test_roundtrip(self, random_records):
+        blob = records_to_bytes(random_records)
+        assert len(blob) == len(random_records) * RECORD_BYTES
+        back = records_from_bytes(blob)
+        assert (back == random_records).all()
+
+    def test_rejects_ragged_buffer(self):
+        with pytest.raises(LogFormatError):
+            records_from_bytes(b"\x00" * 21)
+
+    def test_empty(self):
+        assert len(records_from_bytes(b"")) == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2**31),
+                st.integers(1, 2**10),
+                st.integers(0, 2**32 - 1),
+                st.integers(0, 2**32 - 1),
+                st.integers(0, 2**32 - 1),
+            ),
+            max_size=64,
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_roundtrip_any_records(self, rows):
+        """EVL byte serialization is lossless for any valid record set."""
+        if rows:
+            start = np.array([r[0] for r in rows], dtype=np.uint32)
+            dur = np.array([r[1] for r in rows], dtype=np.uint32)
+            rec = make_records(
+                start,
+                start + dur,
+                [r[2] for r in rows],
+                [r[3] for r in rows],
+                [r[4] for r in rows],
+            )
+        else:
+            rec = empty_records(0)
+        assert (records_from_bytes(records_to_bytes(rec)) == rec).all()

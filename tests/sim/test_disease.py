@@ -1,0 +1,132 @@
+"""Tests for the SEIR layer and transmission tracing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import DiseaseConfig, ScaleConfig, SimulationConfig
+from repro.errors import SimulationError
+from repro.sim import DiseaseModel, DiseaseState, PrevalenceObserver, Simulation
+
+
+class TestDiseaseModel:
+    def test_initial_seeding(self):
+        m = DiseaseModel(100, DiseaseConfig(initial_infected=5), seed=1)
+        assert m.counts()["infectious"] == 5
+        assert len(m.patient_zeros) == 5
+        assert (m.infected_at[m.patient_zeros] == 0).all()
+
+    def test_too_many_seeds(self):
+        with pytest.raises(SimulationError):
+            DiseaseModel(3, DiseaseConfig(initial_infected=5), seed=1)
+
+    def test_no_transmission_when_beta_zero(self):
+        m = DiseaseModel(
+            50, DiseaseConfig(transmissibility=0.0, initial_infected=2), seed=1
+        )
+        place = np.zeros(50, dtype=np.uint32)  # everyone in one room
+        for hour in range(48):
+            assert m.step(hour, place) == 0
+        assert m.counts()["exposed"] == 0
+
+    def test_certain_transmission_when_beta_one(self):
+        m = DiseaseModel(
+            50, DiseaseConfig(transmissibility=1.0, initial_infected=1), seed=1
+        )
+        place = np.zeros(50, dtype=np.uint32)
+        new = m.step(0, place)
+        assert new == 49  # every susceptible in the room infected
+
+    def test_isolation_blocks_transmission(self):
+        m = DiseaseModel(
+            50, DiseaseConfig(transmissibility=1.0, initial_infected=1), seed=1
+        )
+        place = np.arange(50, dtype=np.uint32)  # everyone alone
+        assert m.step(0, place) == 0
+
+    def test_states_progress_to_recovered(self):
+        cfg = DiseaseConfig(
+            transmissibility=0.0,
+            infectious_days=0.05,  # ~1 hour
+            initial_infected=5,
+        )
+        m = DiseaseModel(20, cfg, seed=1)
+        place = np.arange(20, dtype=np.uint32)
+        for hour in range(24 * 5):
+            m.step(hour, place)
+        assert m.counts()["infectious"] == 0
+        assert m.counts()["recovered"] == 5
+
+    def test_transmission_records_have_real_infectors(self):
+        m = DiseaseModel(
+            200, DiseaseConfig(transmissibility=0.3, initial_infected=3), seed=2
+        )
+        rng = np.random.default_rng(0)
+        for hour in range(48):
+            place = rng.integers(0, 20, 200).astype(np.uint32)
+            m.step(hour, place)
+        assert m.transmissions, "expected at least one transmission"
+        for t in m.transmissions[:50]:
+            assert t.infected != t.infector
+            assert m.infected_at[t.infected] == t.hour
+
+    def test_place_vector_length_checked(self):
+        m = DiseaseModel(10, DiseaseConfig(), seed=1)
+        with pytest.raises(SimulationError):
+            m.step(0, np.zeros(5, dtype=np.uint32))
+
+
+class TestTracing:
+    @pytest.fixture(scope="class")
+    def outbreak(self):
+        pop = repro.generate_population(ScaleConfig(n_persons=600, seed=3))
+        cfg = SimulationConfig(
+            scale=pop.scale,
+            duration_hours=repro.HOURS_PER_WEEK,
+            disease=DiseaseConfig(transmissibility=0.05, initial_infected=3),
+        )
+        res = Simulation(pop, cfg).run()
+        assert res.disease is not None and res.disease.transmissions
+        return res.disease
+
+    def test_chain_reaches_patient_zero(self, outbreak):
+        case = outbreak.transmissions[-1].infected
+        chain = outbreak.trace_to_patient_zero(case)
+        assert chain[0].infected == case
+        assert chain[-1].infector in outbreak.patient_zeros
+
+    def test_chain_hours_decrease(self, outbreak):
+        case = outbreak.transmissions[-1].infected
+        chain = outbreak.trace_to_patient_zero(case)
+        hours = [t.hour for t in chain]
+        assert hours == sorted(hours, reverse=True)
+
+    def test_seed_case_has_empty_chain(self, outbreak):
+        assert outbreak.trace_to_patient_zero(outbreak.patient_zeros[0]) == []
+
+    def test_attack_rate_bounds(self, outbreak):
+        assert 0.0 < outbreak.attack_rate() <= 1.0
+
+
+class TestEpidemicDynamics:
+    def test_prevalence_observer_records_curve(self):
+        pop = repro.generate_population(ScaleConfig(n_persons=400, seed=4))
+        cfg = SimulationConfig(
+            scale=pop.scale,
+            duration_hours=120,
+            disease=DiseaseConfig(transmissibility=0.03, initial_infected=2),
+        )
+        obs = PrevalenceObserver()
+        Simulation(pop, cfg).run(observers=[obs])
+        assert len(obs.hours) == 120
+        totals = {
+            name: np.array(series) for name, series in obs.series.items()
+        }
+        # S+E+I+R == population at every tick
+        s = sum(totals.values())
+        assert (s == 400).all()
+        # susceptible never increases
+        sus = totals["susceptible"]
+        assert (np.diff(sus) <= 0).all()

@@ -1,0 +1,121 @@
+"""Tests for the serial engine: fast/slow equivalence, logging, results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import ScaleConfig, SimulationConfig
+from repro.errors import SimulationError
+from repro.evlog import LogReader
+from repro.sim import MovementObserver, Simulation
+from repro.sim.events import events_to_grid
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return repro.generate_population(ScaleConfig(n_persons=300, seed=9))
+
+
+def config_for(pop, hours=repro.HOURS_PER_WEEK, **kw):
+    return SimulationConfig(scale=pop.scale, duration_hours=hours, **kw)
+
+
+class TestEquivalence:
+    def test_fast_equals_slow(self, pop):
+        cfg = config_for(pop)
+        fast = Simulation(pop, cfg).run_fast()
+        slow = Simulation(pop, cfg).run()
+        assert len(fast.records) == len(slow.records)
+        assert (fast.records == slow.records).all()
+
+    def test_multi_week_fast_equals_slow(self, pop):
+        cfg = config_for(pop, hours=2 * repro.HOURS_PER_WEEK + 13)
+        fast = Simulation(pop, cfg).run_fast()
+        slow = Simulation(pop, cfg).run()
+        assert (fast.records == slow.records).all()
+
+    def test_rerun_deterministic(self, pop):
+        cfg = config_for(pop)
+        a = Simulation(pop, cfg).run_fast()
+        b = Simulation(pop, cfg).run_fast()
+        assert (a.records == b.records).all()
+
+
+class TestEventSemantics:
+    def test_events_cover_full_duration(self, pop):
+        cfg = config_for(pop, hours=100)
+        res = Simulation(pop, cfg).run_fast()
+        rec = res.records
+        # per person: intervals tile [0, 100) exactly
+        order = np.lexsort((rec["start"], rec["person"]))
+        s = rec[order]
+        bounds = np.searchsorted(s["person"], np.arange(pop.n_persons + 1))
+        for p in range(0, pop.n_persons, 37):
+            mine = s[bounds[p] : bounds[p + 1]]
+            assert mine["start"][0] == 0
+            assert mine["stop"][-1] == 100
+            assert (mine["start"][1:] == mine["stop"][:-1]).all()
+
+    def test_grid_reconstruction_matches_schedule(self, pop):
+        cfg = config_for(pop)
+        res = Simulation(pop, cfg).run_fast()
+        grid = pop.schedule_generator().week(0)
+        act, plc = events_to_grid(
+            res.records, pop.n_persons, 0, repro.HOURS_PER_WEEK
+        )
+        assert (act == grid.activity).all()
+        assert (plc == grid.place).all()
+
+    def test_event_rate_plausible(self, pop):
+        res = Simulation(pop, config_for(pop)).run_fast()
+        rate = res.events_per_person_day(pop.n_persons)
+        assert 2.0 < rate < 7.0
+
+
+class TestLogging:
+    def test_run_writes_evl(self, pop, tmp_path):
+        path = tmp_path / "run.evl"
+        cfg = config_for(pop, hours=50)
+        res = Simulation(pop, cfg).run(log_path=path)
+        r = LogReader(path)
+        assert r.n_records == res.n_events
+        key = ["person", "start", "place"]
+        assert (np.sort(r.read_all(), order=key)
+                == np.sort(res.records, order=key)).all()
+
+    def test_fast_log_matches_slow_log(self, pop, tmp_path):
+        cfg = config_for(pop, hours=72)
+        Simulation(pop, cfg).run(log_path=tmp_path / "slow.evl")
+        Simulation(pop, cfg).run_fast(log_path=tmp_path / "fast.evl")
+        a = LogReader(tmp_path / "slow.evl").read_all()
+        b = LogReader(tmp_path / "fast.evl").read_all()
+        assert (a == b).all()
+
+    def test_compressed_log(self, pop, tmp_path):
+        cfg = config_for(pop, hours=50)
+        Simulation(pop, cfg).run(log_path=tmp_path / "z.evl", compress_log=True)
+        assert LogReader(tmp_path / "z.evl").header.compressed
+
+
+class TestObservers:
+    def test_movement_observer_counts(self, pop):
+        cfg = config_for(pop, hours=48)
+        obs = MovementObserver()
+        res = Simulation(pop, cfg).run(observers=[obs])
+        assert len(obs.moves_per_hour) == 47
+        # moves == events whose spell ended at hours 1..47 with place change
+        assert obs.total_moves > 0
+
+    def test_config_population_mismatch(self, pop):
+        bad = SimulationConfig(scale=ScaleConfig(n_persons=999))
+        with pytest.raises(SimulationError):
+            Simulation(pop, bad)
+
+    def test_run_fast_rejects_disease(self, pop):
+        cfg = config_for(
+            pop, hours=24, disease=repro.DiseaseConfig(initial_infected=1)
+        )
+        with pytest.raises(SimulationError):
+            Simulation(pop, cfg).run_fast()

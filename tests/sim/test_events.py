@@ -1,0 +1,140 @@
+"""Tests for grid↔event conversion — the lossless-compression invariant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import OpenSpells, events_to_grid, grid_to_events
+
+
+def random_grids(rng, n, hours, n_states=5):
+    """Random sticky state grids (runs of varying length)."""
+    act = np.zeros((n, hours), dtype=np.uint8)
+    plc = np.zeros((n, hours), dtype=np.uint32)
+    act[:, 0] = rng.integers(0, n_states, n)
+    plc[:, 0] = rng.integers(0, n_states * 3, n)
+    for h in range(1, hours):
+        change = rng.random(n) < 0.3
+        act[:, h] = np.where(change, rng.integers(0, n_states, n), act[:, h - 1])
+        plc[:, h] = np.where(change, rng.integers(0, n_states * 3, n), plc[:, h - 1])
+    return act, plc
+
+
+class TestRoundTrip:
+    def test_single_grid_lossless(self, rng):
+        act, plc = random_grids(rng, 50, 40)
+        rec, spells = grid_to_events(act, plc, 0)
+        final = spells.close_all(40)
+        all_rec = np.concatenate([rec, final])
+        act2, plc2 = events_to_grid(all_rec, 50, 0, 40)
+        assert (act2 == act).all()
+        assert (plc2 == plc).all()
+
+    def test_chained_grids_equal_single(self, rng):
+        """Processing in two chunks with carried spells == one chunk."""
+        act, plc = random_grids(rng, 30, 60)
+        rec_a, spells = grid_to_events(act[:, :25], plc[:, :25], 0)
+        rec_b, spells = grid_to_events(act[:, 25:], plc[:, 25:], 25, spells)
+        final = spells.close_all(60)
+        chunked = np.concatenate([rec_a, rec_b, final])
+
+        rec_full, spells_full = grid_to_events(act, plc, 0)
+        full = np.concatenate([rec_full, spells_full.close_all(60)])
+
+        key = ["person", "start", "stop"]
+        assert (np.sort(chunked, order=key) == np.sort(full, order=key)).all()
+
+    def test_spell_spanning_chunk_boundary_is_one_record(self):
+        """No artificial event at the chunk seam (week boundary)."""
+        act = np.zeros((1, 10), dtype=np.uint8)
+        plc = np.full((1, 10), 7, dtype=np.uint32)
+        rec_a, spells = grid_to_events(act[:, :5], plc[:, :5], 0)
+        rec_b, spells = grid_to_events(act[:, 5:], plc[:, 5:], 5, spells)
+        final = spells.close_all(10)
+        assert len(rec_a) == 0 and len(rec_b) == 0
+        assert len(final) == 1
+        assert final["start"][0] == 0 and final["stop"][0] == 10
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 20))
+        hours = int(rng.integers(1, 30))
+        act, plc = random_grids(rng, n, hours)
+        rec, spells = grid_to_events(act, plc, 0)
+        all_rec = np.concatenate([rec, spells.close_all(hours)])
+        # event count == number of maximal runs
+        runs = 1 * n + int(
+            (
+                (act[:, 1:] != act[:, :-1]) | (plc[:, 1:] != plc[:, :-1])
+            ).sum()
+        )
+        assert len(all_rec) == runs
+        act2, plc2 = events_to_grid(all_rec, n, 0, hours)
+        assert (act2 == act).all() and (plc2 == plc).all()
+
+    def test_events_are_maximal_runs(self, rng):
+        """No two consecutive records of one person share state (each
+        record is a *change*)."""
+        act, plc = random_grids(rng, 40, 50)
+        rec, spells = grid_to_events(act, plc, 0)
+        all_rec = np.concatenate([rec, spells.close_all(50)])
+        order = np.lexsort((all_rec["start"], all_rec["person"]))
+        s = all_rec[order]
+        same_person = s["person"][1:] == s["person"][:-1]
+        contiguous = s["start"][1:] == s["stop"][:-1]
+        same_state = (s["activity"][1:] == s["activity"][:-1]) & (
+            s["place"][1:] == s["place"][:-1]
+        )
+        assert not (same_person & contiguous & same_state).any()
+        # person timelines have no gaps or overlaps
+        assert (s["start"][1:][same_person] == s["stop"][:-1][same_person]).all()
+
+
+class TestValidation:
+    def test_mismatched_grids(self):
+        with pytest.raises(SimulationError):
+            grid_to_events(
+                np.zeros((2, 5), dtype=np.uint8),
+                np.zeros((2, 6), dtype=np.uint32),
+                0,
+            )
+
+    def test_empty_grid(self):
+        with pytest.raises(SimulationError):
+            grid_to_events(
+                np.zeros((2, 0), dtype=np.uint8),
+                np.zeros((2, 0), dtype=np.uint32),
+                0,
+            )
+
+    def test_carried_spells_wrong_size(self, rng):
+        act, plc = random_grids(rng, 5, 10)
+        spells = OpenSpells.begin(np.zeros(3), np.zeros(3), 0)
+        with pytest.raises(SimulationError):
+            grid_to_events(act, plc, 10, spells)
+
+    def test_person_ids_subset(self, rng):
+        act, plc = random_grids(rng, 4, 6)
+        ids = np.array([10, 20, 30, 40], dtype=np.uint32)
+        rec, spells = grid_to_events(act, plc, 0, person_ids=ids)
+        final = spells.close_all(6)
+        assert set(np.concatenate([rec, final])["person"]) <= set(ids.tolist())
+
+    def test_events_to_grid_bad_person(self):
+        from repro.evlog.schema import make_records
+
+        rec = make_records([0], [3], [99], [0], [0])
+        with pytest.raises(SimulationError):
+            events_to_grid(rec, 5, 0, 4)
+
+    def test_events_to_grid_bad_window(self):
+        from repro.evlog.schema import empty_records
+
+        with pytest.raises(SimulationError):
+            events_to_grid(empty_records(0), 5, 4, 4)

@@ -1,0 +1,67 @@
+"""Tests for aggregate observers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.observers import (
+    MovementObserver,
+    Observer,
+    OccupancyObserver,
+    PrevalenceObserver,
+)
+
+
+class TestProtocol:
+    def test_all_satisfy_protocol(self):
+        for obs in (PrevalenceObserver(), OccupancyObserver(), MovementObserver()):
+            assert isinstance(obs, Observer)
+
+
+class TestOccupancy:
+    def test_histogram_counts_place_sizes(self):
+        obs = OccupancyObserver(max_occupancy=10)
+        place = np.array([0, 0, 0, 1, 1, 2], dtype=np.uint32)
+        obs.on_tick(0, np.zeros(6), place, None)
+        assert obs.histogram[3] == 1  # one place with 3 occupants
+        assert obs.histogram[2] == 1
+        assert obs.histogram[1] == 1
+        assert obs.max_seen == 3
+
+    def test_clipping_above_max(self):
+        obs = OccupancyObserver(max_occupancy=4)
+        place = np.zeros(50, dtype=np.uint32)
+        obs.on_tick(0, np.zeros(50), place, None)
+        assert obs.histogram[4] == 1
+        assert obs.max_seen == 50
+
+    def test_mean_occupancy(self):
+        obs = OccupancyObserver()
+        obs.on_tick(0, np.zeros(4), np.array([0, 0, 1, 1], dtype=np.uint32), None)
+        assert obs.mean_occupancy() == 2.0
+
+    def test_mean_empty(self):
+        assert OccupancyObserver().mean_occupancy() == 0.0
+
+
+class TestMovement:
+    def test_counts_changes_between_ticks(self):
+        obs = MovementObserver()
+        obs.on_tick(0, np.zeros(3), np.array([1, 2, 3], dtype=np.uint32), None)
+        obs.on_tick(1, np.zeros(3), np.array([1, 9, 3], dtype=np.uint32), None)
+        obs.on_tick(2, np.zeros(3), np.array([5, 9, 7], dtype=np.uint32), None)
+        assert obs.moves_per_hour == [1, 2]
+        assert obs.total_moves == 3
+
+    def test_first_tick_not_counted(self):
+        obs = MovementObserver()
+        obs.on_tick(0, np.zeros(2), np.array([1, 2], dtype=np.uint32), None)
+        assert obs.moves_per_hour == []
+
+
+class TestPrevalence:
+    def test_ignores_runs_without_disease(self):
+        obs = PrevalenceObserver()
+        obs.on_tick(0, np.zeros(2), np.zeros(2, dtype=np.uint32), None)
+        assert obs.hours == []
+        assert obs.peak_infectious() == (0, 0)

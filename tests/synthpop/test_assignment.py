@@ -1,0 +1,169 @@
+"""Tests for school/workplace/favorite assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PopulationError
+from repro.synthpop.assignment import (
+    SCHOOL_AGE_MAX,
+    SCHOOL_AGE_MIN,
+    assign_favorites,
+    assign_schools,
+    assign_workplaces,
+    gravity_choice,
+)
+from repro.synthpop.person import NO_PLACE
+
+
+@pytest.fixture()
+def world(rng):
+    n = 2_000
+    ages = rng.integers(0, 90, n)
+    home_xy = rng.uniform(0, 40, (n, 2))
+    return ages, home_xy
+
+
+class TestGravityChoice:
+    def test_shapes(self, rng):
+        person_xy = rng.uniform(0, 40, (50, 2))
+        ids = np.arange(100, 130, dtype=np.uint32)
+        place_xy = rng.uniform(0, 40, (30, 2))
+        attract = rng.lognormal(size=30)
+        out = gravity_choice(person_xy, ids, place_xy, attract, rng, k=3)
+        assert out.shape == (50, 3)
+        assert set(np.unique(out)) <= set(ids.tolist())
+
+    def test_empty_persons(self, rng):
+        out = gravity_choice(
+            np.empty((0, 2)), np.arange(5, dtype=np.uint32),
+            np.zeros((5, 2)), np.ones(5), rng, k=2,
+        )
+        assert out.shape == (0, 2)
+
+    def test_no_places_raises(self, rng):
+        with pytest.raises(PopulationError):
+            gravity_choice(
+                np.zeros((3, 2)), np.empty(0, dtype=np.uint32),
+                np.empty((0, 2)), np.empty(0), rng,
+            )
+
+    def test_prefers_nearby(self, rng):
+        """A person equidistant from nothing: near venue should dominate."""
+        person_xy = np.tile([[0.0, 0.0]], (400, 1))
+        ids = np.array([0, 1], dtype=np.uint32)
+        place_xy = np.array([[1.0, 0.0], [35.0, 0.0]])
+        attract = np.ones(2)
+        out = gravity_choice(person_xy, ids, place_xy, attract, rng, k=1)
+        near = (out[:, 0] == 0).mean()
+        # with a 2-place pool the stage-1 candidate draw misses the near
+        # venue for ~25% of persons, so the ceiling is ~0.75 + ε
+        assert near > 0.7
+
+    def test_prefers_attractive(self, rng):
+        """Equidistant venues: attractiveness decides the stage-1 pool."""
+        person_xy = np.tile([[0.0, 0.0]], (400, 1))
+        ids = np.array([0, 1], dtype=np.uint32)
+        place_xy = np.array([[5.0, 0.0], [-5.0, 0.0]])
+        attract = np.array([100.0, 1.0])
+        out = gravity_choice(person_xy, ids, place_xy, attract, rng, k=1)
+        assert (out[:, 0] == 0).mean() > 0.8
+
+    def test_tiny_pool_fills_k(self, rng):
+        out = gravity_choice(
+            np.zeros((4, 2)), np.array([9], dtype=np.uint32),
+            np.zeros((1, 2)), np.ones(1), rng, k=3,
+        )
+        assert out.shape == (4, 3)
+        assert (out == 9).all()
+
+
+class TestSchools:
+    def test_only_school_age_assigned(self, world, rng):
+        ages, home_xy = world
+        buildings_xy = rng.uniform(0, 40, (3, 2))
+        building, classroom = assign_schools(ages, home_xy, buildings_xy, 600, 30, rng)
+        school_age = (ages >= SCHOOL_AGE_MIN) & (ages <= SCHOOL_AGE_MAX)
+        assert (building[school_age] >= 0).all()
+        assert (building[~school_age] == -1).all()
+
+    def test_capacity_respected_with_slack(self, world, rng):
+        """With enough total capacity, no building exceeds its cap."""
+        ages, home_xy = world
+        buildings_xy = rng.uniform(0, 40, (4, 2))
+        cap = 600
+        building, _ = assign_schools(ages, home_xy, buildings_xy, cap, 30, rng)
+        counts = np.bincount(building[building >= 0], minlength=4)
+        n_students = (building >= 0).sum()
+        if n_students <= 4 * cap:
+            assert counts.max() <= cap
+
+    def test_overflow_still_assigns_everyone(self, rng):
+        """More students than seats: everyone still gets a building."""
+        n = 500
+        ages = np.full(n, 10)
+        home_xy = rng.uniform(0, 40, (n, 2))
+        buildings_xy = rng.uniform(0, 40, (1, 2))
+        building, _ = assign_schools(ages, home_xy, buildings_xy, 100, 30, rng)
+        assert (building >= 0).all()
+
+    def test_classrooms_capped(self, world, rng):
+        ages, home_xy = world
+        buildings_xy = rng.uniform(0, 40, (3, 2))
+        building, classroom = assign_schools(ages, home_xy, buildings_xy, 600, 30, rng)
+        assigned = building >= 0
+        # classroom occupancy per (building, classroom) at most classroom size
+        key = building[assigned] * 1_000 + classroom[assigned]
+        _, counts = np.unique(key, return_counts=True)
+        assert counts.max() <= 30
+
+    def test_classrooms_group_age_peers(self, world, rng):
+        """Classmates should span a narrow age band (grade cohorts)."""
+        ages, home_xy = world
+        buildings_xy = rng.uniform(0, 40, (2, 2))
+        building, classroom = assign_schools(ages, home_xy, buildings_xy, 600, 30, rng)
+        assigned = np.flatnonzero(building >= 0)
+        key = building[assigned] * 1_000 + classroom[assigned]
+        for k in np.unique(key)[:20]:
+            members = assigned[key == k]
+            if len(members) >= 5:
+                spread = ages[members].max() - ages[members].min()
+                assert spread <= 4
+
+
+class TestWorkplaces:
+    def test_employment_pattern(self, world, rng):
+        ages, home_xy = world
+        ids = np.arange(50, 90, dtype=np.uint32)
+        xy = rng.uniform(0, 40, (40, 2))
+        attract = rng.lognormal(size=40)
+        wp = assign_workplaces(ages, home_xy, ids, xy, attract, 0.7, rng)
+        children = ages < 19
+        assert (wp[children] == NO_PLACE).all()
+        adults = (ages >= 19) & (ages <= 64)
+        rate = (wp[adults] != NO_PLACE).mean()
+        assert 0.55 < rate < 0.85
+        seniors = ages >= 65
+        senior_rate = (wp[seniors] != NO_PLACE).mean()
+        assert senior_rate < rate
+
+    def test_zero_employment(self, world, rng):
+        ages, home_xy = world
+        ids = np.arange(5, dtype=np.uint32)
+        wp = assign_workplaces(
+            ages, home_xy, ids, np.zeros((5, 2)), np.ones(5), 0.0, rng
+        )
+        adults = (ages >= 19) & (ages <= 64)
+        assert (wp[adults] == NO_PLACE).all()
+
+
+class TestFavorites:
+    def test_shape_and_range(self, world, rng):
+        _, home_xy = world
+        ids = np.arange(200, 260, dtype=np.uint32)
+        xy = rng.uniform(0, 40, (60, 2))
+        attract = rng.lognormal(size=60)
+        fav = assign_favorites(home_xy, ids, xy, attract, 4, rng)
+        assert fav.shape == (len(home_xy), 4)
+        assert set(np.unique(fav)) <= set(ids.tolist())

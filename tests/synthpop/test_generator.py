@@ -1,0 +1,83 @@
+"""Tests for the top-level population generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ScaleConfig
+from repro.synthpop import PlaceKind, generate_population
+from repro.synthpop.person import NO_PLACE
+
+
+class TestGeneratedWorld:
+    def test_exact_person_count(self, small_pop):
+        assert small_pop.n_persons == small_pop.scale.n_persons
+
+    def test_place_blocks_laid_out_by_kind(self, small_pop):
+        kind = small_pop.places.kind
+        # homes first, then schools, workplaces, others — contiguous blocks
+        changes = np.flatnonzero(kind[1:] != kind[:-1]) + 1
+        assert len(changes) == 3
+        blocks = np.split(kind, changes)
+        assert [int(b[0]) for b in blocks] == [
+            int(PlaceKind.HOME),
+            int(PlaceKind.SCHOOL),
+            int(PlaceKind.WORKPLACE),
+            int(PlaceKind.OTHER),
+        ]
+
+    def test_references_valid(self, small_pop):
+        small_pop.persons.validate_against_places(small_pop.n_places)
+
+    def test_school_ids_are_school_places(self, small_pop):
+        persons, places = small_pop.persons, small_pop.places
+        schools = persons.school[persons.school != NO_PLACE]
+        assert (places.kind[schools] == int(PlaceKind.SCHOOL)).all()
+
+    def test_workplace_ids_are_workplaces(self, small_pop):
+        persons, places = small_pop.persons, small_pop.places
+        wps = persons.workplace[persons.workplace != NO_PLACE]
+        assert (places.kind[wps] == int(PlaceKind.WORKPLACE)).all()
+
+    def test_favorites_are_other_places(self, small_pop):
+        favs = small_pop.persons.favorites.ravel()
+        assert (small_pop.places.kind[favs] == int(PlaceKind.OTHER)).all()
+
+    def test_household_capacity_matches_size(self, small_pop):
+        persons, places = small_pop.persons, small_pop.places
+        counts = np.bincount(persons.household, minlength=small_pop.n_places)
+        homes = places.ids_of_kind(PlaceKind.HOME)
+        assert (counts[homes] == places.capacity[homes]).all()
+
+    def test_students_not_employed(self, small_pop):
+        p = small_pop.persons
+        assert not (p.is_student & p.is_employed).any()
+
+    def test_deterministic_from_seed(self):
+        a = generate_population(ScaleConfig(n_persons=400, seed=5))
+        b = generate_population(ScaleConfig(n_persons=400, seed=5))
+        assert (a.persons.age == b.persons.age).all()
+        assert (a.persons.favorites == b.persons.favorites).all()
+        assert (a.places.x == b.places.x).all()
+
+    def test_different_seeds_differ(self):
+        a = generate_population(ScaleConfig(n_persons=400, seed=5))
+        b = generate_population(ScaleConfig(n_persons=400, seed=6))
+        assert (a.persons.age != b.persons.age).any()
+
+    def test_summary_keys(self, small_pop):
+        s = small_pop.summary()
+        for key in ("n_persons", "n_places", "n_students", "n_employed"):
+            assert key in s
+
+    def test_tiny_population(self):
+        pop = generate_population(ScaleConfig(n_persons=10))
+        assert pop.n_persons == 10
+        pop.persons.validate_against_places(pop.n_places)
+
+    def test_school_age_children_enrolled(self, small_pop):
+        p = small_pop.persons
+        school_age = (p.age >= 5) & (p.age <= 18)
+        assert (p.school[school_age] != NO_PLACE).all()
+        assert (p.school[~school_age] == NO_PLACE).all()

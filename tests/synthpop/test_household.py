@@ -1,0 +1,82 @@
+"""Tests for household generation: exact totals, composition, ages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ScaleConfig
+from repro.synthpop.household import (
+    MAX_HOUSEHOLD,
+    generate_households,
+    _sample_sizes,
+)
+
+
+class TestSizes:
+    @given(st.integers(min_value=1, max_value=5_000))
+    @settings(max_examples=30, deadline=None)
+    def test_sizes_sum_exactly_to_population(self, n):
+        rng = np.random.default_rng(n)
+        sizes = _sample_sizes(n, 2.6, rng)
+        assert int(sizes.sum()) == n
+        assert sizes.min() >= 1
+        assert sizes.max() <= MAX_HOUSEHOLD
+
+    def test_mean_size_close_to_config(self):
+        rng = np.random.default_rng(0)
+        sizes = _sample_sizes(100_000, 2.6, rng)
+        assert sizes.mean() == pytest.approx(2.6, rel=0.05)
+
+    def test_single_person(self):
+        rng = np.random.default_rng(0)
+        sizes = _sample_sizes(1, 2.6, rng)
+        assert sizes.tolist() == [1]
+
+
+class TestPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return generate_households(
+            ScaleConfig(n_persons=20_000), np.random.default_rng(1)
+        )
+
+    def test_every_person_in_a_household(self, plan):
+        assert plan.n_persons == 20_000
+        assert len(plan.person_household) == 20_000
+        counts = np.bincount(plan.person_household, minlength=plan.n_households)
+        assert (counts == plan.sizes).all()
+
+    def test_household_ids_contiguous(self, plan):
+        assert plan.person_household.max() == plan.n_households - 1
+        assert plan.person_household.min() == 0
+
+    def test_age_pyramid_chicago_like(self, plan):
+        """Shares per age group within loose, census-like bands."""
+        ages = plan.ages.astype(int)
+        n = len(ages)
+        children = np.count_nonzero(ages <= 14) / n
+        seniors = np.count_nonzero(ages >= 65) / n
+        working = np.count_nonzero((ages >= 19) & (ages <= 64)) / n
+        assert 0.10 < children < 0.35
+        assert 0.05 < seniors < 0.30
+        assert 0.40 < working < 0.75
+
+    def test_every_household_has_an_adult(self, plan):
+        """Household composition puts adults in the first slots."""
+        is_adult = plan.ages >= 19
+        has_adult = np.zeros(plan.n_households, dtype=bool)
+        np.logical_or.at(has_adult, plan.person_household, is_adult)
+        assert has_adult.all()
+
+    def test_ages_within_bounds(self, plan):
+        assert plan.ages.min() >= 0
+        assert plan.ages.max() <= 120
+
+    def test_deterministic(self):
+        a = generate_households(ScaleConfig(n_persons=500), np.random.default_rng(3))
+        b = generate_households(ScaleConfig(n_persons=500), np.random.default_rng(3))
+        assert (a.ages == b.ages).all()
+        assert (a.person_household == b.person_household).all()

@@ -1,0 +1,43 @@
+"""Tests for population persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PopulationError
+from repro.synthpop import load_population, save_population
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, small_pop, tmp_path):
+        path = save_population(small_pop, tmp_path / "world")
+        assert path.suffix == ".npz"
+        back = load_population(path)
+        assert back.seed == small_pop.seed
+        assert back.scale == small_pop.scale
+        for col in ("age", "household", "school", "workplace", "favorites"):
+            assert (
+                getattr(back.persons, col) == getattr(small_pop.persons, col)
+            ).all()
+        for col in ("kind", "x", "y", "capacity"):
+            assert (
+                getattr(back.places, col) == getattr(small_pop.places, col)
+            ).all()
+
+    def test_schedules_reproducible_after_reload(self, small_pop, tmp_path):
+        path = save_population(small_pop, tmp_path / "w.npz")
+        back = load_population(path)
+        a = small_pop.schedule_generator().week(0)
+        b = back.schedule_generator().week(0)
+        assert (a.place == b.place).all()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_population(tmp_path / "nope.npz")
+
+    def test_load_garbage_file(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, whatever=np.zeros(3))
+        with pytest.raises(PopulationError):
+            load_population(bad)

@@ -1,0 +1,109 @@
+"""Tests for the columnar person table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PopulationError
+from repro.synthpop.person import NO_PLACE, PersonTable
+
+
+def make_table(n=10, k=2):
+    return PersonTable(
+        age=np.arange(n) % 90,
+        household=np.zeros(n, dtype=np.uint32),
+        school=np.full(n, NO_PLACE, dtype=np.uint32),
+        workplace=np.full(n, NO_PLACE, dtype=np.uint32),
+        favorites=np.ones((n, k), dtype=np.uint32),
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = make_table(5)
+        assert len(t) == 5
+        assert t.n_persons == 5
+        assert t.ids.tolist() == [0, 1, 2, 3, 4]
+        assert t.ids.dtype == np.uint32
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(PopulationError, match="household"):
+            PersonTable(
+                age=np.zeros(3, dtype=np.uint8),
+                household=np.zeros(2, dtype=np.uint32),
+                school=np.zeros(3, dtype=np.uint32),
+                workplace=np.zeros(3, dtype=np.uint32),
+                favorites=np.zeros((3, 1), dtype=np.uint32),
+            )
+
+    def test_rejects_1d_favorites(self):
+        with pytest.raises(PopulationError, match="favorites"):
+            PersonTable(
+                age=np.zeros(3, dtype=np.uint8),
+                household=np.zeros(3, dtype=np.uint32),
+                school=np.zeros(3, dtype=np.uint32),
+                workplace=np.zeros(3, dtype=np.uint32),
+                favorites=np.zeros(3, dtype=np.uint32),
+            )
+
+    def test_dtype_coercion(self):
+        t = PersonTable(
+            age=np.array([1, 2], dtype=np.int64),
+            household=np.array([0, 1], dtype=np.int64),
+            school=np.array([0, 0], dtype=np.int64),
+            workplace=np.array([0, 0], dtype=np.int64),
+            favorites=np.array([[2], [3]], dtype=np.int64),
+        )
+        assert t.age.dtype == np.uint8
+        assert t.household.dtype == np.uint32
+
+
+class TestQueries:
+    def test_student_employed_flags(self):
+        t = make_table(4)
+        t.school[1] = 7
+        t.workplace[2] = 9
+        assert t.is_student.tolist() == [False, True, False, False]
+        assert t.is_employed.tolist() == [False, False, True, False]
+
+    def test_age_group_matches_config(self):
+        t = make_table(100)
+        groups = t.age_group()
+        assert groups[t.age == 10][0] == 0
+        assert groups[t.age == 16][0] == 1
+        assert groups[t.age == 30][0] == 2
+        assert groups[t.age == 50][0] == 3
+        assert groups[t.age == 70][0] == 4
+
+    def test_select_returns_matching_ids(self):
+        t = make_table(6)
+        ids = t.select(t.age >= 3)
+        assert (t.age[ids] >= 3).all()
+        assert ids.dtype == np.uint32
+
+    def test_select_rejects_bad_mask(self):
+        t = make_table(6)
+        with pytest.raises(PopulationError):
+            t.select(np.zeros(3, dtype=bool))
+
+
+class TestValidation:
+    def test_validate_against_places_ok(self, small_pop):
+        small_pop.persons.validate_against_places(small_pop.n_places)
+
+    def test_validate_catches_bad_household(self):
+        t = make_table(3)
+        t.household[0] = 99
+        with pytest.raises(PopulationError, match="household"):
+            t.validate_against_places(10)
+
+    def test_validate_ignores_no_place(self):
+        t = make_table(3)  # school/workplace are NO_PLACE
+        t.validate_against_places(5)
+
+    def test_validate_catches_bad_favorite(self):
+        t = make_table(3)
+        t.favorites[1, 0] = 1000
+        with pytest.raises(PopulationError, match="favorites"):
+            t.validate_against_places(10)

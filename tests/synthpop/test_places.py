@@ -1,0 +1,79 @@
+"""Tests for the place table and city coordinate scattering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PopulationError
+from repro.synthpop.places import PlaceKind, PlaceTable, scatter_city_coords
+
+
+def make_places(n=8):
+    return PlaceTable(
+        kind=np.array([int(PlaceKind.HOME)] * (n // 2) + [int(PlaceKind.OTHER)] * (n - n // 2)),
+        x=np.linspace(0, 10, n),
+        y=np.linspace(0, 10, n),
+        capacity=np.full(n, 4),
+    )
+
+
+class TestPlaceTable:
+    def test_shape_and_dtypes(self):
+        p = make_places(8)
+        assert len(p) == 8
+        assert p.kind.dtype == np.uint8
+        assert p.x.dtype == np.float32
+        assert p.capacity.dtype == np.uint32
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(PopulationError):
+            PlaceTable(
+                kind=np.zeros(3),
+                x=np.zeros(2),
+                y=np.zeros(3),
+                capacity=np.zeros(3),
+            )
+
+    def test_ids_of_kind(self):
+        p = make_places(8)
+        homes = p.ids_of_kind(PlaceKind.HOME)
+        assert len(homes) == 4
+        assert (p.kind[homes] == int(PlaceKind.HOME)).all()
+        assert len(p.ids_of_kind(PlaceKind.SCHOOL)) == 0
+
+    def test_coords_shape(self):
+        p = make_places(6)
+        assert p.coords().shape == (6, 2)
+
+    def test_counts_by_kind(self):
+        p = make_places(8)
+        counts = p.counts_by_kind()
+        assert counts["home"] == 4
+        assert counts["other"] == 4
+        assert counts["school"] == 0
+
+
+class TestScatter:
+    def test_within_city_square(self, rng):
+        xs, ys = scatter_city_coords(5_000, 40.0, rng)
+        assert xs.min() >= 0 and xs.max() <= 40
+        assert ys.min() >= 0 and ys.max() <= 40
+
+    def test_core_denser_than_periphery(self, rng):
+        """The downtown blob should make the central quarter denser."""
+        xs, ys = scatter_city_coords(20_000, 40.0, rng)
+        central = (
+            (xs > 15) & (xs < 25) & (ys > 15) & (ys < 25)
+        ).sum()
+        corner = ((xs < 10) & (ys < 10)).sum()
+        # central 10x10 box should be far denser than a corner 10x10 box
+        assert central > 2 * corner
+
+    def test_zero_places(self, rng):
+        xs, ys = scatter_city_coords(0, 40.0, rng)
+        assert len(xs) == 0 and len(ys) == 0
+
+    def test_negative_raises(self, rng):
+        with pytest.raises(PopulationError):
+            scatter_city_coords(-1, 40.0, rng)

@@ -1,0 +1,133 @@
+"""Tests for weekly schedule generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import HOURS_PER_DAY, HOURS_PER_WEEK, ScheduleConfig
+from repro.errors import ScheduleError
+from repro.synthpop.schedule import Activity, WeekGrid, WeeklyScheduleGenerator
+from repro.synthpop.person import NO_PLACE
+
+
+@pytest.fixture(scope="module")
+def generator(small_pop):
+    return small_pop.schedule_generator()
+
+
+@pytest.fixture(scope="module")
+def week0(generator):
+    return generator.week(0)
+
+
+class TestWeekGrid:
+    def test_shape(self, week0, small_pop):
+        assert week0.activity.shape == (small_pop.n_persons, HOURS_PER_WEEK)
+        assert week0.place.shape == week0.activity.shape
+
+    def test_no_no_place(self, week0):
+        assert not (week0.place == NO_PLACE).any()
+
+    def test_shape_validation(self):
+        with pytest.raises(ScheduleError):
+            WeekGrid(0, np.zeros((2, 100), dtype=np.uint8), np.zeros((2, 100), dtype=np.uint32))
+
+
+class TestDeterminism:
+    def test_same_week_identical(self, generator):
+        a, b = generator.week(1), generator.week(1)
+        assert (a.activity == b.activity).all()
+        assert (a.place == b.place).all()
+
+    def test_weeks_differ(self, generator):
+        a, b = generator.week(0), generator.week(1)
+        assert (a.place != b.place).any()
+
+    def test_negative_week_raises(self, generator):
+        with pytest.raises(ScheduleError):
+            generator.week(-1)
+
+
+class TestStructure:
+    def test_nights_at_home(self, week0, small_pop):
+        """Hours 0-6 and 23 of every day must be at home."""
+        hh = small_pop.persons.household
+        for day in range(7):
+            for hour in (0, 3, 6, 23):
+                col = day * HOURS_PER_DAY + hour
+                assert (week0.activity[:, col] == int(Activity.AT_HOME)).all()
+                assert (week0.place[:, col] == hh).all()
+
+    def test_students_at_school_weekdays(self, week0, small_pop):
+        students = np.flatnonzero(small_pop.persons.is_student)
+        col = 0 * HOURS_PER_DAY + 10  # Monday 10:00
+        at_school = week0.activity[students, col] == int(Activity.AT_SCHOOL)
+        assert at_school.mean() > 0.95
+        schooled = students[at_school]
+        assert (
+            week0.place[schooled, col]
+            == small_pop.persons.school[schooled]
+        ).all()
+
+    def test_no_school_on_weekend(self, week0):
+        sat = 5 * HOURS_PER_DAY + 10
+        assert not (week0.activity[:, sat] == int(Activity.AT_SCHOOL)).any()
+
+    def test_workers_at_work_midday(self, week0, small_pop):
+        workers = np.flatnonzero(small_pop.persons.is_employed)
+        col = 1 * HOURS_PER_DAY + 13  # Tuesday 13:00
+        acts = week0.activity[workers, col]
+        at_work = acts == int(Activity.AT_WORK)
+        # most workers are at work or out at lunch at 13:00
+        assert (at_work | (acts == int(Activity.LUNCH_OUT))).mean() > 0.6
+        worked = workers[at_work]
+        assert (
+            week0.place[worked, col] == small_pop.persons.workplace[worked]
+        ).all()
+
+    def test_outing_places_are_favorites(self, week0, small_pop):
+        fav = small_pop.persons.favorites
+        leisure = week0.activity == int(Activity.LEISURE)
+        rows, cols = np.nonzero(leisure)
+        sample = slice(0, 500)
+        for r, c in zip(rows[sample], cols[sample]):
+            assert week0.place[r, c] in fav[r]
+
+    def test_changes_per_day_in_paper_band(self, week0):
+        """Section III sizes logs on ~5 changes/day; our schedules land in
+        the 2.5-6 band (documented in EXPERIMENTS.md)."""
+        rate = week0.changes_per_person_day()
+        assert 2.5 <= rate <= 6.0
+
+    def test_propensity_creates_homebodies(self, generator, week0, small_pop):
+        """Some people never leave home except for anchors — the source of
+        the paper's degree-1..7 head."""
+        non_anchor = ~small_pop.persons.is_student & ~small_pop.persons.is_employed
+        home_all_week = (
+            (week0.place == small_pop.persons.household[:, None]).all(axis=1)
+        )
+        assert (home_all_week & non_anchor).sum() > 0
+
+
+class TestActivityPlaceConsistency:
+    def test_home_activity_at_household(self, week0, small_pop):
+        home = week0.activity == int(Activity.AT_HOME)
+        hh = np.broadcast_to(
+            small_pop.persons.household[:, None], week0.place.shape
+        )
+        assert (week0.place[home] == hh[home]).all()
+
+    def test_school_activity_at_school_place(self, week0, small_pop):
+        at_school = week0.activity == int(Activity.AT_SCHOOL)
+        rows, cols = np.nonzero(at_school)
+        assert (
+            week0.place[rows, cols] == small_pop.persons.school[rows]
+        ).all()
+
+    def test_work_activity_at_workplace(self, week0, small_pop):
+        at_work = week0.activity == int(Activity.AT_WORK)
+        rows, cols = np.nonzero(at_work)
+        assert (
+            week0.place[rows, cols] == small_pop.persons.workplace[rows]
+        ).all()

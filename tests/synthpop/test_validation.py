@@ -1,0 +1,66 @@
+"""Tests for the population validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ScaleConfig
+from repro.synthpop import generate_population, validate_population
+from repro.synthpop.person import NO_PLACE
+
+
+class TestCleanPopulation:
+    def test_generated_population_validates(self, small_pop):
+        report = validate_population(small_pop)
+        assert report.ok, report.summary()
+
+    def test_metrics_present(self, small_pop):
+        report = validate_population(small_pop)
+        for key in (
+            "child_share",
+            "senior_share",
+            "mean_household_size",
+            "enrollment_rate",
+            "adult_employment",
+            "activity_changes_per_day",
+            "home_at_3am",
+        ):
+            assert key in report.metrics
+
+    def test_summary_renders(self, small_pop):
+        text = validate_population(small_pop).summary()
+        assert "OK" in text
+        assert "child_share" in text
+
+    def test_skipping_schedule_check(self, small_pop):
+        report = validate_population(small_pop, check_schedules=False)
+        assert "activity_changes_per_day" not in report.metrics
+        assert report.ok
+
+
+class TestBrokenPopulations:
+    def test_unenrolled_child_flagged(self):
+        pop = generate_population(ScaleConfig(n_persons=300, seed=3))
+        kids = np.flatnonzero(
+            (pop.persons.age >= 5) & (pop.persons.age <= 18)
+        )
+        pop.persons.school[kids[0]] = NO_PLACE
+        report = validate_population(pop, check_schedules=False)
+        assert not report.ok
+        assert any("enrolled" in e for e in report.errors)
+
+    def test_enrolled_adult_flagged(self):
+        pop = generate_population(ScaleConfig(n_persons=300, seed=3))
+        adults = np.flatnonzero(pop.persons.age >= 30)
+        school = pop.persons.school[pop.persons.school != NO_PLACE][0]
+        pop.persons.school[adults[0]] = school
+        report = validate_population(pop, check_schedules=False)
+        assert not report.ok
+
+    def test_weird_age_pyramid_warns(self):
+        pop = generate_population(ScaleConfig(n_persons=300, seed=3))
+        pop.persons.age[:] = 30  # everyone 30 years old
+        pop.persons.school[:] = NO_PLACE
+        report = validate_population(pop, check_schedules=False)
+        assert any("child share" in w for w in report.warnings)

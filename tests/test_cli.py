@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (full chain in a tmp dir)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """Run generate → simulate → synthesize once; reuse downstream."""
+    root = tmp_path_factory.mktemp("cli")
+    world = root / "world.npz"
+    logs = root / "logs"
+    net = root / "week.net.npz"
+    assert main(["generate", "--persons", "800", "--seed", "5",
+                 "--out", str(world)]) == 0
+    assert main(["simulate", "--population", str(world), "--ranks", "3",
+                 "--log-dir", str(logs), "--weeks", "1"]) == 0
+    assert main(["synthesize", "--log-dir", str(logs),
+                 "--population", str(world), "--out", str(net)]) == 0
+    return root, world, logs, net
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "cmd", ["generate", "simulate", "synthesize", "analyze", "epidemic",
+                "export-ego"],
+    )
+    def test_all_subcommands_registered(self, cmd):
+        sub = build_parser()._subparsers._group_actions[0].choices
+        assert cmd in sub
+
+
+class TestPipeline:
+    def test_generate_writes_population(self, workspace):
+        _, world, _, _ = workspace
+        from repro import load_population
+
+        pop = load_population(world)
+        assert pop.n_persons == 800
+
+    def test_simulate_writes_rank_logs(self, workspace):
+        _, _, logs, _ = workspace
+        from repro.evlog import LogSet
+
+        log_set = LogSet(logs)
+        assert len(log_set) == 3
+        assert log_set.total_records() > 0
+
+    def test_synthesize_writes_network(self, workspace):
+        _, _, _, net_path = workspace
+        from repro import CollocationNetwork
+
+        net = CollocationNetwork.load(net_path)
+        assert net.n_persons == 800
+        assert net.n_edges > 0
+
+    def test_serial_simulate(self, workspace, tmp_path):
+        _, world, _, _ = workspace
+        logs = tmp_path / "serial_logs"
+        assert main(["simulate", "--population", str(world), "--ranks", "1",
+                     "--log-dir", str(logs), "--weeks", "1"]) == 0
+        from repro.evlog import LogSet
+
+        assert len(LogSet(logs)) == 1
+
+    def test_analyze_runs(self, workspace, capsys):
+        _, world, _, net = workspace
+        assert main(["analyze", "--network", str(net),
+                     "--population", str(world)]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out
+        assert "power_law" in out
+        assert "0-14" in out
+
+    def test_epidemic_runs(self, workspace, capsys):
+        _, world, _, _ = workspace
+        assert main(["epidemic", "--population", str(world), "--weeks", "1",
+                     "--beta", "0.02", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "attack rate" in out
+
+    def test_export_ego(self, workspace, tmp_path, capsys):
+        _, _, _, net = workspace
+        out_file = tmp_path / "ego.gexf"
+        assert main(["export-ego", "--network", str(net), "--radius", "1",
+                     "--out", str(out_file), "--iterations", "10"]) == 0
+        assert out_file.exists()
+        import networkx as nx
+
+        g = nx.read_gexf(out_file)
+        assert g.number_of_nodes() > 0

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs end-to-end at tiny scale.
+
+Examples are a deliverable, not decoration — each must execute cleanly
+from a fresh interpreter with a small population argument.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "800")
+        assert "degree distribution" in out
+        assert "vertices" in out
+
+    def test_epidemic_trace(self):
+        out = run_example("epidemic_trace.py", "900")
+        assert "attack rate" in out
+        # either a full trace or the graceful no-transmissions path
+        assert "patient zero" in out or "no transmissions" in out
+
+    def test_distributed_run(self):
+        out = run_example("distributed_run.py", "800", "4")
+        assert "distributed run" in out
+        assert "est. cross-rank moves" in out
+
+    def test_ego_visualization(self, tmp_path):
+        out = run_example("ego_visualization.py", "800", str(tmp_path))
+        assert "open in Gephi" in out
+        assert (tmp_path / "fig1_dense.gexf").exists()
+
+    def test_intervention_study(self):
+        out = run_example("intervention_study.py", "800")
+        assert "close schools" in out
+        assert "attack -" in out
+
+    def test_year_run_short(self):
+        # year_run at 500 persons is a few seconds of simulation
+        out = run_example("year_run.py", "500")
+        assert "annual network" in out
+        assert "stable core" in out
+
+    def test_scale_study(self):
+        # needs >= 3 sweep points for the exponent fit: 2k, 4k, 8k
+        out = run_example("scale_study.py", "8000")
+        assert "empirical growth exponents" in out

@@ -1,0 +1,153 @@
+"""Tests for repro._util: grouping, timers, formatting, seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import (
+    StageTimings,
+    Timer,
+    check_uint32,
+    group_by_key,
+    group_slices,
+    human_bytes,
+    human_count,
+    rng_from_seed,
+    spawn_rngs,
+)
+
+
+class TestGroupByKey:
+    def test_basic_grouping(self):
+        keys = np.array([3, 1, 3, 2, 1, 3])
+        unique, order, starts = group_by_key(keys)
+        assert unique.tolist() == [1, 2, 3]
+        groups = {
+            int(unique[i]): sorted(order[starts[i] : starts[i + 1]].tolist())
+            for i in range(len(unique))
+        }
+        assert groups == {1: [1, 4], 2: [3], 3: [0, 2, 5]}
+
+    def test_empty(self):
+        unique, order, starts = group_by_key(np.array([], dtype=np.int64))
+        assert len(unique) == 0
+        assert starts.tolist() == [0]
+
+    def test_single_group(self):
+        unique, order, starts = group_by_key(np.full(5, 9))
+        assert unique.tolist() == [9]
+        assert starts.tolist() == [0, 5]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            group_by_key(np.zeros((2, 2)))
+
+    def test_group_slices_iterates_all(self):
+        keys = np.array([5, 5, 2, 7, 2])
+        seen = dict(group_slices(keys))
+        assert set(seen) == {2, 5, 7}
+        assert sorted(seen[2].tolist()) == [2, 4]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=200)
+    )
+    @settings(max_examples=50)
+    def test_property_partition_of_indices(self, values):
+        keys = np.array(values, dtype=np.int64)
+        unique, order, starts = group_by_key(keys)
+        # groups cover every index exactly once
+        all_indices = np.concatenate(
+            [order[starts[i] : starts[i + 1]] for i in range(len(unique))]
+        ) if len(unique) else np.array([], dtype=np.intp)
+        assert sorted(all_indices.tolist()) == list(range(len(values)))
+        # every group member has the group's key value
+        for i in range(len(unique)):
+            members = order[starts[i] : starts[i + 1]]
+            assert (keys[members] == unique[i]).all()
+
+
+class TestTimers:
+    def test_timer_measures(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+    def test_stage_timings_accumulate(self):
+        timings = StageTimings()
+        with timings.time("a"):
+            pass
+        with timings.time("a"):
+            pass
+        with timings.time("b"):
+            pass
+        assert set(timings.stages) == {"a", "b"}
+        assert timings.total == pytest.approx(
+            timings.stages["a"] + timings.stages["b"]
+        )
+
+    def test_report_lists_stages(self):
+        timings = StageTimings()
+        timings.add("slice", 1.5)
+        report = timings.report()
+        assert "slice" in report and "total" in report
+
+    def test_empty_report(self):
+        assert "no stages" in StageTimings().report()
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0.00 B"),
+            (1023, "1023.00 B"),
+            (1024, "1.00 KiB"),
+            (20 * 1024 * 1024, "20.00 MiB"),
+            (3 * 1024**3, "3.00 GiB"),
+        ],
+    )
+    def test_human_bytes(self, n, expected):
+        assert human_bytes(n) == expected
+
+    def test_human_count(self):
+        assert human_count(2_927_761) == "2,927,761"
+
+
+class TestCheckUint32:
+    def test_accepts_valid(self):
+        out = check_uint32(np.array([0, 2**32 - 1]), "x")
+        assert out.dtype == np.uint32
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x"):
+            check_uint32(np.array([-1]), "x")
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            check_uint32(np.array([2**32]), "big")
+
+    def test_empty_ok(self):
+        assert len(check_uint32(np.array([], dtype=np.int64), "e")) == 0
+
+
+class TestSeeding:
+    def test_rng_deterministic(self):
+        a = rng_from_seed(5).random(4)
+        b = rng_from_seed(5).random(4)
+        assert (a == b).all()
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(9, 3)
+        vals = [r.random(8) for r in streams]
+        assert not np.allclose(vals[0], vals[1])
+        # reproducible
+        again = [r.random(8) for r in spawn_rngs(9, 3)]
+        for v, w in zip(vals, again):
+            assert (v == w).all()
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

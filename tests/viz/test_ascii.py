@@ -1,0 +1,61 @@
+"""Tests for the ASCII plot renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.viz import ascii_histogram, ascii_loglog, ascii_series
+
+
+class TestLogLog:
+    def test_renders_points(self):
+        x = np.array([1, 10, 100])
+        y = np.array([100, 10, 1])
+        out = ascii_loglog(x, y, width=30, height=10, title="t")
+        assert "t" in out
+        assert "o" in out
+        assert "10^" in out
+
+    def test_overlays_use_marks(self):
+        x = np.arange(1, 50)
+        y = 1000.0 / x
+        out = ascii_loglog(x, y, overlays=[(x, 500.0 / x, "+")])
+        assert "+" in out
+
+    def test_nonpositive_filtered(self):
+        out = ascii_loglog(np.array([0, 1, 2]), np.array([1, 0, 4]))
+        assert isinstance(out, str)
+
+    def test_empty_input(self):
+        out = ascii_loglog(np.array([]), np.array([]))
+        assert isinstance(out, str)
+
+
+class TestHistogram:
+    def test_bars_scale_with_counts(self):
+        edges = np.array([0.0, 0.5, 1.0])
+        out = ascii_histogram(edges, np.array([1, 10]), width=20)
+        lines = [l for l in out.splitlines() if "#" in l]
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_counts_printed(self):
+        edges = np.array([0.0, 1.0])
+        out = ascii_histogram(edges, np.array([42]))
+        assert "42" in out
+
+    def test_empty(self):
+        out = ascii_histogram(np.array([0.0]), np.array([]), title="x")
+        assert "empty" in out
+
+    def test_log_scale_option(self):
+        edges = np.linspace(0, 1, 4)
+        out = ascii_histogram(edges, np.array([1, 1000, 10]), log_counts=True)
+        assert isinstance(out, str)
+
+
+class TestSeries:
+    def test_renders(self):
+        out = ascii_series(np.sin(np.linspace(0, 6, 100)) + 2, title="wave")
+        assert "wave" in out
+        assert "*" in out

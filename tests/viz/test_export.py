@@ -1,0 +1,107 @@
+"""Tests for GEXF/GraphML export (networkx readback as oracle)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import LayoutError
+from repro.viz import write_gexf, write_graphml
+from repro.viz.gexf import degree_colors
+
+
+@pytest.fixture()
+def small_graph():
+    a = sp.lil_matrix((4, 4))
+    a[0, 1] = 3
+    a[1, 2] = 1
+    a[0, 3] = 2
+    a = a + a.T
+    return a.tocsr()
+
+
+class TestGexf:
+    def test_readable_by_networkx(self, small_graph, tmp_path):
+        path = write_gexf(tmp_path / "g.gexf", small_graph)
+        g = nx.read_gexf(path)
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 3
+
+    def test_weights_preserved(self, small_graph, tmp_path):
+        path = write_gexf(tmp_path / "g.gexf", small_graph)
+        g = nx.read_gexf(path)
+        assert g["0"]["1"]["weight"] == 3.0
+
+    def test_positions_written(self, small_graph, tmp_path):
+        pos = np.arange(8, dtype=float).reshape(4, 2)
+        path = write_gexf(tmp_path / "g.gexf", small_graph, positions=pos)
+        text = path.read_text()
+        assert "position" in text and 'x="0.0000"' in text
+
+    def test_position_shape_checked(self, small_graph, tmp_path):
+        with pytest.raises(LayoutError):
+            write_gexf(tmp_path / "g.gexf", small_graph, positions=np.zeros((2, 2)))
+
+    def test_labels(self, small_graph, tmp_path):
+        labels = np.array([10, 20, 30, 40])
+        path = write_gexf(tmp_path / "g.gexf", small_graph, node_labels=labels)
+        g = nx.read_gexf(path)
+        assert g.nodes["0"]["label"] == "10"
+
+    def test_upper_triangular_input_works(self, tmp_path):
+        up = sp.coo_matrix(([5], ([0], [1])), shape=(2, 2)).tocsr()
+        path = write_gexf(tmp_path / "g.gexf", up)
+        g = nx.read_gexf(path)
+        assert g.number_of_edges() == 1
+
+
+class TestDegreeColors:
+    def test_darker_for_higher_degree(self):
+        colors = degree_colors(np.array([1, 10, 100]))
+        # grayscale, decreasing with degree
+        assert colors[0, 0] > colors[1, 0] > colors[2, 0]
+        assert (colors[:, 0] == colors[:, 1]).all()
+
+    def test_uniform_degrees(self):
+        colors = degree_colors(np.array([5, 5]))
+        assert (colors[0] == colors[1]).all()
+
+    def test_empty(self):
+        assert degree_colors(np.array([])).shape == (0, 3)
+
+
+class TestGraphML:
+    def test_readable_by_networkx(self, small_graph, tmp_path):
+        path = write_graphml(tmp_path / "g.graphml", small_graph)
+        g = nx.read_graphml(path)
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 3
+        assert g["n0"]["n1"]["weight"] == 3.0
+
+    def test_node_attributes(self, small_graph, tmp_path):
+        path = write_graphml(
+            tmp_path / "g.graphml",
+            small_graph,
+            node_attrs={"age": np.array([5, 15, 30, 70])},
+        )
+        g = nx.read_graphml(path)
+        assert g.nodes["n2"]["age"] == 30.0
+
+    def test_string_attributes(self, small_graph, tmp_path):
+        path = write_graphml(
+            tmp_path / "g.graphml",
+            small_graph,
+            node_attrs={"name": np.array(["a", "b", "c", "d"])},
+        )
+        g = nx.read_graphml(path)
+        assert g.nodes["n1"]["name"] == "b"
+
+    def test_attr_length_checked(self, small_graph, tmp_path):
+        with pytest.raises(LayoutError):
+            write_graphml(
+                tmp_path / "g.graphml",
+                small_graph,
+                node_attrs={"age": np.array([1])},
+            )

@@ -1,0 +1,77 @@
+"""Tests for the figure-data CSV exporters."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    export_all_figure_data,
+    export_fig3_csv,
+    export_fig4_csv,
+    export_fig5_csv,
+)
+
+
+def read_csv(path):
+    with open(path) as fh:
+        comment = fh.readline()
+        reader = csv.DictReader(fh)
+        rows = list(reader)
+    return comment, rows
+
+
+class TestFig3:
+    def test_columns_and_counts(self, small_net, tmp_path):
+        path = export_fig3_csv(small_net, tmp_path / "fig3.csv")
+        comment, rows = read_csv(path)
+        assert "Figure 3" in comment
+        assert set(rows[0]) == {
+            "degree", "count", "fraction", "power_law",
+            "truncated_power_law", "exponential",
+        }
+        total = sum(int(r["count"]) for r in rows)
+        degrees = small_net.degrees()
+        assert total == int(np.count_nonzero(degrees > 0))
+
+    def test_fractions_sum_to_one(self, small_net, tmp_path):
+        _, rows = read_csv(export_fig3_csv(small_net, tmp_path / "f.csv"))
+        assert sum(float(r["fraction"]) for r in rows) == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+
+class TestFig4:
+    def test_bins_cover_unit_interval(self, small_net, tmp_path):
+        path = export_fig4_csv(small_net, tmp_path / "fig4.csv", n_bins=10)
+        _, rows = read_csv(path)
+        assert len(rows) == 10
+        assert float(rows[0]["bin_lo"]) == 0.0
+        assert float(rows[-1]["bin_hi"]) == 1.0
+
+    def test_counts_match_defined_vertices(self, small_net, tmp_path):
+        _, rows = read_csv(export_fig4_csv(small_net, tmp_path / "f.csv"))
+        total = sum(int(r["count"]) for r in rows)
+        assert total == int(np.count_nonzero(small_net.degrees() >= 2))
+
+
+class TestFig5:
+    def test_long_format_groups(self, small_net, small_pop, tmp_path):
+        path = export_fig5_csv(small_net, small_pop.persons, tmp_path / "f.csv")
+        _, rows = read_csv(path)
+        groups = {r["group"] for r in rows}
+        assert "0-14" in groups and "65+" in groups
+        for r in rows[:20]:
+            assert int(r["degree"]) >= 1
+            assert int(r["count"]) >= 1
+
+
+class TestAll:
+    def test_writes_three_files(self, small_net, small_pop, tmp_path):
+        paths = export_all_figure_data(
+            small_net, small_pop.persons, tmp_path / "figs"
+        )
+        assert len(paths) == 3
+        assert all(p.exists() for p in paths)

@@ -1,0 +1,99 @@
+"""Tests for the ForceAtlas2 layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import LayoutError
+from repro.viz import ForceAtlas2Layout, forceatlas2_layout
+
+
+def clique(n):
+    a = np.ones((n, n)) - np.eye(n)
+    return sp.csr_matrix(a)
+
+
+def two_cliques(n):
+    """Two n-cliques joined by one bridge edge."""
+    a = np.zeros((2 * n, 2 * n))
+    a[:n, :n] = 1
+    a[n:, n:] = 1
+    np.fill_diagonal(a, 0)
+    a[0, n] = a[n, 0] = 1
+    return sp.csr_matrix(a)
+
+
+class TestLayout:
+    def test_returns_finite_positions(self):
+        pos = forceatlas2_layout(clique(10), iterations=30)
+        assert pos.shape == (10, 2)
+        assert np.isfinite(pos).all()
+
+    def test_deterministic_for_seed(self):
+        a = forceatlas2_layout(clique(8), iterations=20, seed=3)
+        b = forceatlas2_layout(clique(8), iterations=20, seed=3)
+        assert (a == b).all()
+
+    def test_seeds_differ(self):
+        a = forceatlas2_layout(clique(8), iterations=20, seed=3)
+        b = forceatlas2_layout(clique(8), iterations=20, seed=4)
+        assert not np.allclose(a, b)
+
+    def test_clusters_separate(self):
+        """Force-directed layouts place dense clusters apart: the mean
+        within-clique distance must be far below the cross-clique one."""
+        n = 12
+        pos = forceatlas2_layout(two_cliques(n), iterations=150, seed=1)
+        a, b = pos[:n], pos[n:]
+        within = np.linalg.norm(a - a.mean(axis=0), axis=1).mean() + np.linalg.norm(
+            b - b.mean(axis=0), axis=1
+        ).mean()
+        between = np.linalg.norm(a.mean(axis=0) - b.mean(axis=0))
+        assert between > within
+
+    def test_disconnected_node_not_flung_to_infinity(self):
+        """Gravity keeps isolated vertices near the origin."""
+        a = sp.lil_matrix((6, 6))
+        a[0, 1] = a[1, 0] = 1
+        pos = forceatlas2_layout(a.tocsr(), iterations=100, seed=0)
+        assert np.isfinite(pos).all()
+        assert np.linalg.norm(pos, axis=1).max() < 1e4
+
+    def test_run_on_real_ego(self, small_net):
+        from repro.analysis import ego_network
+
+        ego = ego_network(small_net, int(np.argmax(small_net.degrees())), radius=1)
+        pos = forceatlas2_layout(ego.matrix, iterations=25)
+        assert pos.shape == (ego.n_nodes, 2)
+        assert np.isfinite(pos).all()
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(LayoutError):
+            ForceAtlas2Layout(adjacency=sp.csr_matrix((2, 3)))
+
+    def test_rejects_huge_graph(self):
+        with pytest.raises(LayoutError):
+            ForceAtlas2Layout(adjacency=sp.csr_matrix((100_001, 100_001)))
+
+    def test_rejects_zero_iterations(self):
+        layout = ForceAtlas2Layout(adjacency=clique(4))
+        with pytest.raises(LayoutError):
+            layout.run(iterations=0)
+
+    def test_asymmetric_input_symmetrized(self):
+        a = sp.lil_matrix((3, 3))
+        a[0, 1] = 2  # only upper entry
+        layout = ForceAtlas2Layout(adjacency=a.tocsr())
+        assert layout.adjacency[1, 0] == layout.adjacency[0, 1]
+
+    def test_block_size_does_not_change_result(self):
+        a = two_cliques(6)
+        p1 = ForceAtlas2Layout(adjacency=a, seed=5, block_rows=4)
+        p2 = ForceAtlas2Layout(adjacency=a, seed=5, block_rows=1024)
+        r1 = p1.run(iterations=10)
+        r2 = p2.run(iterations=10)
+        assert np.allclose(r1, r2)
