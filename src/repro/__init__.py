@@ -35,6 +35,7 @@ from .config import (
     HOURS_PER_WEEK,
     PAPER_SCALE,
     DiseaseConfig,
+    FaultConfig,
     ScaleConfig,
     ScheduleConfig,
     SimulationConfig,
@@ -51,6 +52,8 @@ from .sim import Simulation, SimulationResult, DiseaseModel, DiseaseState
 from .distrib import (
     DistributedSimulation,
     PlacePartition,
+    RetryPolicy,
+    PoolReport,
     SimCluster,
     estimate_migration,
     make_pool,
@@ -87,6 +90,7 @@ __all__ = [
     "HOURS_PER_WEEK",
     "PAPER_SCALE",
     "DiseaseConfig",
+    "FaultConfig",
     "ScaleConfig",
     "ScheduleConfig",
     "SimulationConfig",
@@ -105,6 +109,8 @@ __all__ = [
     # distributed
     "DistributedSimulation",
     "PlacePartition",
+    "RetryPolicy",
+    "PoolReport",
     "SimCluster",
     "estimate_migration",
     "make_pool",

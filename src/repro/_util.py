@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -30,6 +31,9 @@ __all__ = [
     "human_bytes",
     "human_count",
     "check_uint32",
+    "stable_hash_u32",
+    "stable_uniform",
+    "atomic_write_bytes",
 ]
 
 
@@ -169,6 +173,42 @@ def human_bytes(n: int | float) -> str:
 def human_count(n: int | float) -> str:
     """Format a large count with thousands separators."""
     return f"{int(n):,}"
+
+
+def stable_hash_u32(*values: int) -> int:
+    """Deterministic 32-bit hash of a tuple of integers.
+
+    Unlike :func:`hash`, the result is identical across processes and
+    interpreter invocations (``PYTHONHASHSEED`` does not apply), which the
+    retry machinery relies on for reproducible backoff jitter.
+    """
+    import zlib
+
+    blob = b"".join(int(v).to_bytes(8, "little", signed=True) for v in values)
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def stable_uniform(*values: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed by integers."""
+    return stable_hash_u32(*values) / 2**32
+
+
+def atomic_write_bytes(path: "str | Path", data: bytes) -> None:
+    """Write *data* to *path* via a same-directory temp file + rename.
+
+    Readers never observe a partially written file: they see either the
+    previous content or the full new content.  This is the commit primitive
+    for synthesis checkpoints.
+    """
+    import os
+
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 U32_MAX = np.uint32(0xFFFFFFFF)

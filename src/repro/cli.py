@@ -27,6 +27,7 @@ from . import (
     CollocationNetwork,
     DiseaseConfig,
     HOURS_PER_WEEK,
+    RetryPolicy,
     ScaleConfig,
     Simulation,
     SimulationConfig,
@@ -36,6 +37,7 @@ from . import (
     ego_network,
     generate_population,
     load_population,
+    make_pool,
     save_population,
     spatial_partition,
     summarize,
@@ -98,10 +100,35 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     pop = load_population(args.population)
     t0 = args.t0
     t1 = args.t1 if args.t1 is not None else t0 + HOURS_PER_WEEK
-    net, report = synthesize_from_logs(
-        args.log_dir, pop.n_persons, t0, t1, batch_size=args.batch_size
-    )
+    pool = None
+    if args.pool != "serial" or args.retries > 1:
+        retry = None
+        if args.retries > 1:
+            retry = RetryPolicy(
+                max_attempts=args.retries, base_delay=args.retry_delay
+            )
+        pool = make_pool(args.pool, args.workers, retry=retry)
+    try:
+        net, report = synthesize_from_logs(
+            args.log_dir,
+            pop.n_persons,
+            t0,
+            t1,
+            batch_size=args.batch_size,
+            pool=pool,
+            strict=args.strict,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
     print(report.summary())
+    if report.quarantined:
+        print(
+            f"warning: {len(report.quarantined)} damaged log file(s) "
+            "quarantined (re-run with --strict to fail instead)"
+        )
     path = net.save(args.out)
     print(f"\nwrote {path}")
     print(summarize(net).report())
@@ -200,6 +227,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--t1", type=int, default=None)
     p.add_argument("--batch-size", type=int, default=16)
     p.add_argument("--out", required=True)
+    p.add_argument(
+        "--pool", choices=["serial", "thread", "process"], default="serial",
+        help="worker pool backend for the per-batch synthesis stages",
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--retries", type=int, default=3,
+        help="total attempts per worker task (1 disables retries)",
+    )
+    p.add_argument(
+        "--retry-delay", type=float, default=0.05,
+        help="base backoff before the first retry, seconds",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="fail on the first damaged log file instead of quarantining it",
+    )
+    p.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="persist a resumable checkpoint after every completed batch",
+    )
+    p.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume from a checkpoint directory (config must match)",
+    )
     p.set_defaults(fn=_cmd_synthesize)
 
     p = sub.add_parser("analyze", help="network statistics and figures")

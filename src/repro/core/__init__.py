@@ -27,9 +27,19 @@ from .colloc import CollocationMatrix, build_collocation_matrices, collocation_m
 from .balance import balance_by_nnz, BalanceReport
 from .adjacency import place_adjacency, accumulate_adjacency, triu_symmetrize
 from .network import CollocationNetwork
-from .pipeline import SynthesisReport, synthesize_network, synthesize_from_logs
+from .pipeline import (
+    SynthesisReport,
+    synthesize_network,
+    synthesize_from_logs,
+    checkpoint_digest,
+    load_checkpoint_manifest,
+)
 from .streaming import StreamingSynthesizer, WeeklyNetworkSeries
-from .bsp_pipeline import BspSynthesisResult, synthesize_network_bsp
+from .bsp_pipeline import (
+    BspSynthesisResult,
+    synthesize_network_bsp,
+    synthesize_from_logs_bsp,
+)
 from .layers import synthesize_layers, layer_records
 
 __all__ = [
@@ -48,10 +58,13 @@ __all__ = [
     "SynthesisReport",
     "synthesize_network",
     "synthesize_from_logs",
+    "checkpoint_digest",
+    "load_checkpoint_manifest",
     "StreamingSynthesizer",
     "WeeklyNetworkSeries",
     "BspSynthesisResult",
     "synthesize_network_bsp",
+    "synthesize_from_logs_bsp",
     "synthesize_layers",
     "layer_records",
 ]

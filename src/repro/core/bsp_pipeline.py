@@ -26,13 +26,15 @@ something the paper's wall-clock numbers fold together.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..distrib.comm import Communicator, TrafficStats
 from ..distrib.simcluster import SimCluster
 from ..errors import SynthesisError
+from ..evlog.multifile import LogSet, try_read_time_slice
 from ..evlog.schema import LogRecordArray
 from .adjacency import accumulate_adjacency, sum_adjacency_list
 from .balance import lpt_partition
@@ -41,7 +43,11 @@ from .network import CollocationNetwork
 from .pipeline import _chunk_groups
 from .slicing import records_by_place, slice_records
 
-__all__ = ["BspSynthesisResult", "synthesize_network_bsp"]
+__all__ = [
+    "BspSynthesisResult",
+    "synthesize_network_bsp",
+    "synthesize_from_logs_bsp",
+]
 
 
 @dataclass
@@ -53,6 +59,10 @@ class BspSynthesisResult:
     n_ranks: int
     n_places: int
     matrices_moved: int  # matrices that changed rank during balancing
+    #: batches processed (1 for the in-memory entry point)
+    batches: int = 1
+    #: damaged log files skipped by the from-logs entry point
+    quarantined: list[str] = field(default_factory=list)
 
 
 def synthesize_network_bsp(
@@ -148,4 +158,67 @@ def synthesize_network_bsp(
         n_ranks=n_ranks,
         n_places=total_places,
         matrices_moved=total_moved,
+    )
+
+
+def synthesize_from_logs_bsp(
+    log_dir: "str | Path | LogSet",
+    n_persons: int,
+    t0: int,
+    t1: int,
+    n_ranks: int,
+    batch_size: int = 16,
+    strict: bool = False,
+) -> BspSynthesisResult:
+    """Batched from-logs synthesis on the simulated MPI cluster.
+
+    Mirrors :func:`~repro.core.pipeline.synthesize_from_logs` — independent
+    batches of ``batch_size`` files, per-batch networks summed — but runs
+    each batch as a BSP job.  Damaged files are quarantined exactly as in
+    the task-pool pipeline unless ``strict=True``.
+    """
+    from ..evlog.reader import LogReader
+
+    log_set = log_dir if isinstance(log_dir, LogSet) else LogSet(log_dir)
+    network: CollocationNetwork | None = None
+    traffic = TrafficStats()
+    quarantined: list[str] = []
+    n_places = 0
+    moved = 0
+    batches = 0
+    for batch in log_set.batches(batch_size):
+        parts = []
+        for path in batch:
+            if strict:
+                rec = LogReader(path).read_time_slice(t0, t1)
+            else:
+                rec, _reason = try_read_time_slice(path, t0, t1)
+                if rec is None:
+                    quarantined.append(str(path))
+                    continue
+            if len(rec):
+                parts.append(rec)
+        batches += 1
+        if not parts:
+            continue
+        records = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        result = synthesize_network_bsp(records, n_persons, t0, t1, n_ranks)
+        network = (
+            result.network if network is None else network + result.network
+        )
+        traffic = traffic.merged([result.traffic])
+        n_places += result.n_places
+        moved += result.matrices_moved
+    if network is None:
+        network = CollocationNetwork(
+            accumulate_adjacency([], n_persons), t0=t0, t1=t1
+        )
+    return BspSynthesisResult(
+        network=network,
+        traffic=traffic,
+        n_ranks=n_ranks,
+        n_places=n_places,
+        matrices_moved=moved,
+        batches=batches,
+        quarantined=quarantined,
     )

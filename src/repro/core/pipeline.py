@@ -15,17 +15,32 @@ distributed model's place ownership: every record for a place lives in
 exactly one rank's file, so a place's collocation matrix is never split
 across batches.  ``validate_place_locality`` makes that precondition
 checkable for logs of unknown provenance.
+
+Fault tolerance (this layer)
+----------------------------
+Batch independence is also the recovery unit.  After every completed batch
+the pipeline can persist a checkpoint — the partial adjacency sum plus a
+manifest recording the configuration digest and how many batches are done —
+written atomically so a run killed mid-batch resumes from the last
+completed batch and produces a bit-identical network.  Damaged log files
+(truncated or failing CRC) are quarantined instead of killing the run
+(``strict=True`` restores the raise-on-damage behavior), and worker-task
+retries performed by the pool are surfaced in the
+:class:`SynthesisReport`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 import numpy as np
 
-from .._util import StageTimings
-from ..errors import SynthesisError
-from ..evlog.multifile import LogSet
+from .._util import StageTimings, atomic_write_bytes
+from ..errors import CheckpointError, SynthesisError
+from ..evlog.multifile import LogSet, try_read_time_slice
 from ..evlog.schema import LogRecordArray
 from ..distrib.taskpool import SerialPool, WorkerPool
 from .adjacency import accumulate_adjacency, sum_adjacency_list
@@ -39,7 +54,15 @@ __all__ = [
     "synthesize_network",
     "synthesize_from_logs",
     "validate_place_locality",
+    "checkpoint_digest",
+    "load_checkpoint_manifest",
+    "CHECKPOINT_MANIFEST",
+    "CHECKPOINT_PARTIAL",
 ]
+
+CHECKPOINT_MANIFEST = "manifest.json"
+CHECKPOINT_PARTIAL = "partial.npz"
+_CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -54,6 +77,14 @@ class SynthesisReport:
     balance: BalanceReport | None = None
     timings: StageTimings = field(default_factory=StageTimings)
     batches: int = 1
+    #: worker-task re-executions performed by the pool's retry policy
+    n_retries: int = 0
+    #: damaged log files skipped instead of killing the run
+    quarantined: list[str] = field(default_factory=list)
+    #: best-effort count of intact records inside quarantined files
+    skipped_records: int = 0
+    #: batches restored from a checkpoint rather than recomputed
+    resumed_batches: int = 0
 
     def summary(self) -> str:
         lines = [
@@ -66,6 +97,16 @@ class SynthesisReport:
         ]
         if self.balance is not None:
             lines.append(f"load imbalance   {self.balance.imbalance:>12.3f}")
+        if self.n_retries:
+            lines.append(f"task retries     {self.n_retries:>12,}")
+        if self.resumed_batches:
+            lines.append(f"resumed batches  {self.resumed_batches:>12,}")
+        if self.quarantined:
+            lines.append(
+                f"quarantined      {len(self.quarantined):>12,} file(s), "
+                f"~{self.skipped_records:,} records skipped"
+            )
+            lines.extend(f"  !! {name}" for name in self.quarantined)
         lines.append("--- timings ---")
         lines.append(self.timings.report())
         return "\n".join(lines)
@@ -109,6 +150,114 @@ def _chunk_groups(
     return [c for c in chunks if c]
 
 
+# -- checkpointing -----------------------------------------------------------
+
+
+def checkpoint_digest(
+    log_set: LogSet, n_persons: int, t0: int, t1: int, batch_size: int
+) -> str:
+    """Configuration fingerprint a checkpoint is only valid against.
+
+    Covers everything that changes which records land in which batch: the
+    ordered file list, the population size, the analysis window, and the
+    batch size.  Resuming against a different digest is refused.
+    """
+    payload = {
+        "version": _CHECKPOINT_VERSION,
+        "n_persons": int(n_persons),
+        "t0": int(t0),
+        "t1": int(t1),
+        "batch_size": int(batch_size),
+        "files": [p.name for p in log_set.paths],
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def load_checkpoint_manifest(directory: str | Path) -> dict:
+    """Read and structurally validate a checkpoint manifest."""
+    path = Path(directory) / CHECKPOINT_MANIFEST
+    if not path.is_file():
+        raise CheckpointError(f"no checkpoint manifest at {path}")
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint manifest {path}: {exc}") from exc
+    for key in ("version", "digest", "batches_done", "has_partial", "report"):
+        if key not in manifest:
+            raise CheckpointError(f"checkpoint manifest {path} missing {key!r}")
+    if manifest["version"] != _CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {manifest['version']} unsupported "
+            f"(expected {_CHECKPOINT_VERSION})"
+        )
+    return manifest
+
+
+def _write_checkpoint(
+    directory: Path,
+    digest: str,
+    batches_done: int,
+    network: CollocationNetwork | None,
+    report: SynthesisReport,
+) -> None:
+    """Persist the state after a completed batch.
+
+    The partial matrix is written first, the manifest last; both writes are
+    atomic, so the manifest is the commit point — a crash between the two
+    leaves the previous (still consistent) checkpoint in force.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    if network is not None:
+        a = network.adjacency
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            data=a.data,
+            indices=a.indices,
+            indptr=a.indptr,
+            shape=np.array(a.shape, dtype=np.int64),
+            window=np.array([network.t0, network.t1], dtype=np.int64),
+        )
+        atomic_write_bytes(directory / CHECKPOINT_PARTIAL, buf.getvalue())
+    manifest = {
+        "version": _CHECKPOINT_VERSION,
+        "digest": digest,
+        "batches_done": batches_done,
+        "has_partial": network is not None,
+        "report": {
+            "n_records": report.n_records,
+            "n_sliced_records": report.n_sliced_records,
+            "n_places": report.n_places,
+            "colloc_nnz_total": report.colloc_nnz_total,
+            "n_retries": report.n_retries,
+            "quarantined": list(report.quarantined),
+            "skipped_records": report.skipped_records,
+        },
+    }
+    atomic_write_bytes(
+        directory / CHECKPOINT_MANIFEST,
+        json.dumps(manifest, indent=2, sort_keys=True).encode(),
+    )
+
+
+def _recoverable_records(path: Path) -> int:
+    """Best-effort intact-record count inside a damaged file (for the
+    report's skipped-records line; 0 when even recovery fails)."""
+    from ..evlog.reader import LogReader
+
+    try:
+        return LogReader(path).n_records
+    except Exception:
+        return 0
+
+
+def _pool_retries(pool: WorkerPool) -> int:
+    """Cumulative retry count of a pool, 0 for retry-unaware pools."""
+    report = getattr(pool, "report", None)
+    return getattr(report, "n_retries", 0)
+
+
 def synthesize_network(
     records: LogRecordArray,
     n_persons: int,
@@ -135,6 +284,7 @@ def synthesize_network(
     pool = pool or SerialPool()
     report = SynthesisReport(n_records=len(records), n_workers=pool.n_workers)
     timings = report.timings
+    retries_before = _pool_retries(pool)
     try:
         with timings.time("slice"):
             sliced = slice_records(records, t0, t1)
@@ -165,6 +315,7 @@ def synthesize_network(
 
         with timings.time("reduce"):
             adjacency = accumulate_adjacency(partials, n_persons)
+        report.n_retries = _pool_retries(pool) - retries_before
     finally:
         if own_pool:
             pool.close()
@@ -201,46 +352,124 @@ def synthesize_from_logs(
     t1: int,
     batch_size: int = 16,
     pool: WorkerPool | None = None,
+    strict: bool = False,
+    checkpoint: str | Path | None = None,
+    resume: str | Path | None = None,
 ) -> tuple[CollocationNetwork, SynthesisReport]:
     """Synthesize the network from a directory of per-rank EVL files.
 
     Files are processed in independent batches of ``batch_size`` (the
     paper's job unit); per-batch networks are summed into the complete
     network.
+
+    Parameters
+    ----------
+    strict:
+        When False (default), a damaged log file — truncated by a killed
+        writer or failing a chunk CRC — is quarantined: the whole file is
+        skipped, recorded in ``report.quarantined``, and the run continues.
+        When True, the first damaged file raises (the pre-quarantine
+        behavior).
+    checkpoint:
+        Directory to persist per-batch checkpoints into.  After each
+        completed batch the partial adjacency sum and a manifest are
+        committed atomically, so a killed run can resume from the last
+        completed batch.
+    resume:
+        Existing checkpoint directory to resume from.  The checkpoint's
+        configuration digest (file list, window, population, batch size)
+        must match this call, else :class:`~repro.errors.CheckpointError`
+        is raised.  Completed batches are skipped and the partial network
+        is restored; checkpointing continues into the same directory unless
+        a different ``checkpoint`` is given.
     """
     log_set = log_dir if isinstance(log_dir, LogSet) else LogSet(log_dir)
     own_pool = pool is None
     pool = pool or SerialPool()
     network: CollocationNetwork | None = None
     total_report = SynthesisReport(n_workers=pool.n_workers, batches=0)
+
+    digest = checkpoint_digest(log_set, n_persons, t0, t1, batch_size)
+    checkpoint_dir = Path(checkpoint) if checkpoint is not None else None
+    resume_dir = Path(resume) if resume is not None else None
+    if resume_dir is not None and checkpoint_dir is None:
+        checkpoint_dir = resume_dir
+    batches_done = 0
+    if resume_dir is not None:
+        manifest = load_checkpoint_manifest(resume_dir)
+        if manifest["digest"] != digest:
+            raise CheckpointError(
+                f"checkpoint in {resume_dir} was written for a different "
+                "configuration (file list, window, population, or batch "
+                "size changed); refusing to resume"
+            )
+        batches_done = int(manifest["batches_done"])
+        if manifest["has_partial"]:
+            partial = resume_dir / CHECKPOINT_PARTIAL
+            if not partial.is_file():
+                raise CheckpointError(
+                    f"manifest in {resume_dir} references a partial matrix "
+                    "but partial.npz is missing"
+                )
+            network = CollocationNetwork.load(partial)
+        saved = manifest["report"]
+        total_report.n_records = int(saved["n_records"])
+        total_report.n_sliced_records = int(saved["n_sliced_records"])
+        total_report.n_places = int(saved["n_places"])
+        total_report.colloc_nnz_total = int(saved["colloc_nnz_total"])
+        total_report.n_retries = int(saved["n_retries"])
+        total_report.quarantined = list(saved["quarantined"])
+        total_report.skipped_records = int(saved["skipped_records"])
+        total_report.batches = batches_done
+        total_report.resumed_batches = batches_done
+
     try:
         from ..evlog.reader import LogReader
 
-        for batch in log_set.batches(batch_size):
+        for batch_index, batch in enumerate(log_set.batches(batch_size)):
+            if batch_index < batches_done:
+                continue
             parts = []
             with total_report.timings.time("load"):
                 for path in batch:
-                    rec = LogReader(path).read_time_slice(t0, t1)
+                    if strict:
+                        rec = LogReader(path).read_time_slice(t0, t1)
+                    else:
+                        rec, _reason = try_read_time_slice(path, t0, t1)
+                        if rec is None:
+                            total_report.quarantined.append(str(path))
+                            total_report.skipped_records += (
+                                _recoverable_records(path)
+                            )
+                            continue
                     if len(rec):
                         parts.append(rec)
-            if not parts:
-                total_report.batches += 1
-                continue
-            records = (
-                np.concatenate(parts) if len(parts) > 1 else parts[0]
-            )
-            batch_net, batch_report = synthesize_network(
-                records, n_persons, t0, t1, pool=pool
-            )
-            network = batch_net if network is None else network + batch_net
+            if parts:
+                records = (
+                    np.concatenate(parts) if len(parts) > 1 else parts[0]
+                )
+                batch_net, batch_report = synthesize_network(
+                    records, n_persons, t0, t1, pool=pool
+                )
+                network = batch_net if network is None else network + batch_net
+                total_report.n_records += batch_report.n_records
+                total_report.n_sliced_records += batch_report.n_sliced_records
+                total_report.n_places += batch_report.n_places
+                total_report.colloc_nnz_total += batch_report.colloc_nnz_total
+                total_report.balance = batch_report.balance
+                total_report.n_retries += batch_report.n_retries
+                for name, secs in batch_report.timings.stages.items():
+                    total_report.timings.add(name, secs)
             total_report.batches += 1
-            total_report.n_records += batch_report.n_records
-            total_report.n_sliced_records += batch_report.n_sliced_records
-            total_report.n_places += batch_report.n_places
-            total_report.colloc_nnz_total += batch_report.colloc_nnz_total
-            total_report.balance = batch_report.balance
-            for name, secs in batch_report.timings.stages.items():
-                total_report.timings.add(name, secs)
+            if checkpoint_dir is not None:
+                with total_report.timings.time("checkpoint"):
+                    _write_checkpoint(
+                        checkpoint_dir,
+                        digest,
+                        batch_index + 1,
+                        network,
+                        total_report,
+                    )
     finally:
         if own_pool:
             pool.close()

@@ -30,7 +30,15 @@ MPI is unavailable here, so this subpackage provides both patterns natively:
 from .comm import Communicator, TrafficStats
 from .simcluster import SimCluster
 from .proccluster import ProcessBspCluster, ProcessCommunicator
-from .taskpool import WorkerPool, SerialPool, ThreadPool, ProcessPool, make_pool
+from .taskpool import (
+    WorkerPool,
+    SerialPool,
+    ThreadPool,
+    ProcessPool,
+    RetryPolicy,
+    PoolReport,
+    make_pool,
+)
 from .partition import (
     PlacePartition,
     random_partition,
@@ -54,6 +62,8 @@ __all__ = [
     "SerialPool",
     "ThreadPool",
     "ProcessPool",
+    "RetryPolicy",
+    "PoolReport",
     "make_pool",
     "PlacePartition",
     "random_partition",

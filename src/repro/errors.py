@@ -15,6 +15,8 @@ __all__ = [
     "SimulationError",
     "CommError",
     "PartitionError",
+    "TaskRetryError",
+    "CheckpointError",
     "LogFormatError",
     "LogTruncatedError",
     "LogCorruptError",
@@ -51,6 +53,25 @@ class CommError(ReproError):
 
 class PartitionError(ReproError):
     """Place-to-rank or work partitioning failed validation."""
+
+
+class TaskRetryError(PartitionError):
+    """A pool task kept failing after exhausting its retry budget.
+
+    Carries the zero-based ``task_index`` within the failing ``map`` call
+    and the number of ``attempts`` made; ``__cause__`` is the last
+    underlying exception.
+    """
+
+    def __init__(self, message: str, task_index: int, attempts: int) -> None:
+        super().__init__(message)
+        self.task_index = task_index
+        self.attempts = attempts
+
+
+class CheckpointError(ReproError):
+    """A synthesis checkpoint is unusable (missing, damaged, or written by
+    a run with a different configuration)."""
 
 
 class LogFormatError(ReproError):

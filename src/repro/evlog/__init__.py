@@ -26,7 +26,7 @@ from .schema import LOG_DTYPE, RECORD_BYTES, LogRecordArray, empty_records, make
 from .format import EvlHeader, ChunkInfo
 from .writer import CachedLogWriter, WriterStats
 from .reader import LogReader
-from .multifile import LogSet, write_rank_logs
+from .multifile import LogSet, try_read_time_slice, write_rank_logs
 from .textlog import TextLogWriter, text_log_size
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "WriterStats",
     "LogReader",
     "LogSet",
+    "try_read_time_slice",
     "write_rank_logs",
     "TextLogWriter",
     "text_log_size",

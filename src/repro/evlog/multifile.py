@@ -5,6 +5,16 @@ A distributed run produces one EVL file per rank ("this scenario generates
 fashion").  :class:`LogSet` wraps such a directory and reproduces the
 paper's batch processing: the synthesis script processes "batches of 16
 files at a time", each batch independent of the others.
+
+Quarantine
+----------
+At cluster scale, one rank file out of hundreds may be truncated (a writer
+killed mid-flush) or corrupted (a bad disk block flipping bits under a
+CRC).  A multi-hour synthesis run should not die for one bad input: the
+quarantine helpers here read each file under full verification and report
+damaged files instead of raising, so the pipeline can skip exactly the bad
+files and record them in its :class:`~repro.core.pipeline.SynthesisReport`.
+Strict mode (raise on the first bad file) remains available.
 """
 
 from __future__ import annotations
@@ -20,7 +30,31 @@ from .reader import LogReader
 from .schema import LogRecordArray, empty_records
 from .writer import CachedLogWriter
 
-__all__ = ["LogSet", "rank_log_path", "write_rank_logs"]
+__all__ = [
+    "LogSet",
+    "rank_log_path",
+    "write_rank_logs",
+    "try_read_time_slice",
+]
+
+
+def try_read_time_slice(
+    path: str | Path, t0: int, t1: int
+) -> tuple[LogRecordArray | None, str | None]:
+    """Fully-verified time-sliced read of one EVL file.
+
+    Returns ``(records, None)`` on success or ``(None, reason)`` when the
+    file is unusable (missing trailer, framing damage, CRC mismatch).  The
+    whole file is CRC-verified, not just the chunks overlapping the window,
+    so a file is deterministically either good or quarantined regardless of
+    the query window.
+    """
+    try:
+        reader = LogReader(path, strict=True)
+        reader.verify()
+        return reader.read_time_slice(t0, t1), None
+    except LogFormatError as exc:
+        return None, f"{type(exc).__name__}: {exc}"
 
 _RANK_FILE_RE = re.compile(r"^rank_(\d+)\.evl$")
 
@@ -108,10 +142,45 @@ class LogSet:
             return empty_records(0)
         return np.concatenate(parts) if len(parts) > 1 else parts[0]
 
-    def read_time_slice(self, t0: int, t1: int) -> LogRecordArray:
-        """Time-sliced records across all rank files."""
-        parts = [r.read_time_slice(t0, t1) for r in self.iter_readers()]
-        parts = [p for p in parts if len(p)]
+    def read_time_slice(
+        self,
+        t0: int,
+        t1: int,
+        on_error: str = "raise",
+        quarantined: list[tuple[Path, str]] | None = None,
+    ) -> LogRecordArray:
+        """Time-sliced records across all rank files.
+
+        ``on_error='raise'`` (default) propagates the first
+        :class:`~repro.errors.LogFormatError`; ``on_error='skip'`` reads
+        each file under full verification, skips damaged files, and appends
+        ``(path, reason)`` for each to *quarantined* when given.
+        """
+        if on_error not in ("raise", "skip"):
+            raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+        parts = []
+        for path in self.paths:
+            if on_error == "skip":
+                rec, reason = try_read_time_slice(path, t0, t1)
+                if rec is None:
+                    if quarantined is not None:
+                        quarantined.append((path, reason or "unreadable"))
+                    continue
+            else:
+                rec = LogReader(path).read_time_slice(t0, t1)
+            if len(rec):
+                parts.append(rec)
         if not parts:
             return empty_records(0)
         return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def quarantine_scan(self) -> list[tuple[Path, str]]:
+        """Verify every file end to end; return ``(path, reason)`` for each
+        damaged one.  An empty list means the whole directory is clean."""
+        bad: list[tuple[Path, str]] = []
+        for path in self.paths:
+            try:
+                LogReader(path, strict=True).verify()
+            except LogFormatError as exc:
+                bad.append((path, f"{type(exc).__name__}: {exc}"))
+        return bad

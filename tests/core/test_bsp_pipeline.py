@@ -85,3 +85,52 @@ class TestValidation:
             synthesize_network_bsp(
                 week_result.records, small_pop.n_persons, 0, 10, 0
             )
+
+
+class TestFromLogsBsp:
+    @pytest.fixture()
+    def log_dir(self, tmp_path):
+        from repro.evlog import make_records, write_rank_logs
+
+        rng = np.random.default_rng(31)
+        per_rank = []
+        for rank in range(4):
+            n = 200
+            start = rng.integers(0, 80, n).astype(np.uint32)
+            per_rank.append(make_records(
+                start,
+                start + rng.integers(1, 6, n).astype(np.uint32),
+                rng.integers(0, 100, n),
+                rng.integers(0, 6, n),
+                rng.integers(0, 30, n),
+            ))
+        write_rank_logs(tmp_path, per_rank)
+        return tmp_path
+
+    def test_matches_taskpool_pipeline(self, log_dir):
+        from repro.core import synthesize_from_logs, synthesize_from_logs_bsp
+
+        expected, _ = synthesize_from_logs(log_dir, 100, 0, 90, batch_size=2)
+        result = synthesize_from_logs_bsp(
+            log_dir, 100, 0, 90, n_ranks=3, batch_size=2
+        )
+        assert result.batches == 2
+        assert (result.network.adjacency != expected.adjacency).nnz == 0
+
+    def test_quarantines_damaged_file(self, log_dir):
+        from repro.core import synthesize_from_logs_bsp
+        from repro.errors import LogCorruptError
+
+        bad = log_dir / "rank_0001.evl"
+        blob = bytearray(bad.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        bad.write_bytes(bytes(blob))
+
+        result = synthesize_from_logs_bsp(
+            log_dir, 100, 0, 90, n_ranks=2, batch_size=16
+        )
+        assert result.quarantined == [str(bad)]
+        with pytest.raises(LogCorruptError):
+            synthesize_from_logs_bsp(
+                log_dir, 100, 0, 90, n_ranks=2, batch_size=16, strict=True
+            )

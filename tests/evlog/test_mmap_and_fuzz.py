@@ -7,7 +7,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.evlog import CachedLogWriter, LogReader, make_records
+from repro.errors import LogTruncatedError
+from repro.evlog import (
+    CachedLogWriter,
+    LogReader,
+    LogSet,
+    make_records,
+    try_read_time_slice,
+    write_rank_logs,
+)
+from repro.evlog.format import TRAILER_BYTES, unpack_trailer
+from repro.evlog.schema import RECORD_BYTES
 
 
 class TestMmapMode:
@@ -125,3 +135,121 @@ class TestWriterReaderFuzz:
         got = reader.read_all()
         assert len(got) <= n
         assert (got == rec[: len(got)]).all()
+
+
+def _small_log(path, n=24, cache=8):
+    """A small uncompressed multi-chunk file plus its source records."""
+    start = np.arange(n, dtype=np.uint32) % 50
+    rec = make_records(
+        start, start + 3, np.arange(n), np.zeros(n), np.arange(n) % 7
+    )
+    with CachedLogWriter(path, cache_records=cache) as w:
+        w.log_batch(rec)
+    return rec
+
+
+class TestTornWrites:
+    """Satellite: a file truncated anywhere inside its last record must
+    raise LogTruncatedError under strict reading — never silently return
+    wrong or partial records."""
+
+    def test_every_cut_in_last_record_raises_strict(self, tmp_path):
+        path = tmp_path / "torn.evl"
+        rec = _small_log(path)
+        blob = path.read_bytes()
+        index_offset, _total = unpack_trailer(blob)
+        # the last record's bytes end exactly where the index begins
+        last_record = range(index_offset - RECORD_BYTES, index_offset)
+        for cut in last_record:
+            torn = tmp_path / f"cut_{cut}.evl"
+            torn.write_bytes(blob[:cut])
+            with pytest.raises(LogTruncatedError):
+                LogReader(torn, strict=True)
+            # verified read path must also refuse the file
+            got, reason = try_read_time_slice(torn, 0, 1_000)
+            assert got is None
+            assert reason is not None and "LogTruncated" in reason
+
+    def test_every_cut_recovery_never_fabricates_records(self, tmp_path):
+        """Non-strict recovery on the same torn files may salvage whole
+        chunks, but every salvaged record must equal the original prefix —
+        the torn last record itself is never returned."""
+        path = tmp_path / "torn.evl"
+        rec = _small_log(path)
+        blob = path.read_bytes()
+        index_offset, _total = unpack_trailer(blob)
+        for cut in range(index_offset - RECORD_BYTES, index_offset):
+            torn = tmp_path / "cut.evl"
+            torn.write_bytes(blob[:cut])
+            got = LogReader(torn).read_all()
+            assert len(got) < len(rec)
+            assert (got == rec[: len(got)]).all()
+
+    def test_cut_through_trailer_only(self, tmp_path):
+        """Losing just the trailer (index intact) is still a truncation."""
+        path = tmp_path / "t.evl"
+        _small_log(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - TRAILER_BYTES + 1])
+        with pytest.raises(LogTruncatedError):
+            LogReader(path, strict=True)
+
+
+class TestQuarantineExactness:
+    """Satellite: quarantine must skip exactly the bad file — every good
+    file's records survive, no record of the bad file leaks through."""
+
+    def _rank_records(self, rank, n=40):
+        start = (np.arange(n, dtype=np.uint32) * 3) % 60
+        return make_records(
+            start,
+            start + 2,
+            np.arange(n) + 1000 * rank,
+            np.zeros(n),
+            np.full(n, rank),
+        )
+
+    def test_truncated_file_skipped_exactly(self, tmp_path):
+        per_rank = [self._rank_records(r) for r in range(4)]
+        write_rank_logs(tmp_path, per_rank)
+        victim = tmp_path / "rank_0002.evl"
+        blob = victim.read_bytes()
+        victim.write_bytes(blob[: len(blob) - 7])
+
+        quarantined = []
+        got = LogSet(tmp_path).read_time_slice(
+            0, 100, on_error="skip", quarantined=quarantined
+        )
+        assert [p.name for p, _ in quarantined] == ["rank_0002.evl"]
+        expected = np.concatenate([per_rank[0], per_rank[1], per_rank[3]])
+        assert (np.sort(got, order=["person", "start"])
+                == np.sort(expected, order=["person", "start"])).all()
+
+    def test_corrupt_file_skipped_exactly(self, tmp_path):
+        per_rank = [self._rank_records(r) for r in range(3)]
+        write_rank_logs(tmp_path, per_rank)
+        victim = tmp_path / "rank_0000.evl"
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 3] ^= 0x01
+        victim.write_bytes(bytes(blob))
+
+        bad = LogSet(tmp_path).quarantine_scan()
+        assert [p.name for p, _ in bad] == ["rank_0000.evl"]
+
+        quarantined = []
+        got = LogSet(tmp_path).read_time_slice(
+            0, 100, on_error="skip", quarantined=quarantined
+        )
+        assert len(quarantined) == 1
+        expected = np.concatenate([per_rank[1], per_rank[2]])
+        assert (np.sort(got, order=["person", "start"])
+                == np.sort(expected, order=["person", "start"])).all()
+
+    def test_clean_set_quarantines_nothing(self, tmp_path):
+        write_rank_logs(tmp_path, [self._rank_records(r) for r in range(3)])
+        assert LogSet(tmp_path).quarantine_scan() == []
+        quarantined = []
+        LogSet(tmp_path).read_time_slice(
+            0, 100, on_error="skip", quarantined=quarantined
+        )
+        assert quarantined == []

@@ -94,3 +94,39 @@ class TestBatching:
         r = ls.reader(2)
         assert r.rank == 2
         assert (r.read_all() == parts[2]).all()
+
+
+class TestQuarantineApi:
+    def test_invalid_on_error_value(self, log_dir):
+        d, _ = log_dir
+        with pytest.raises(ValueError):
+            LogSet(d).read_time_slice(0, 10, on_error="ignore")
+
+    def test_skip_mode_without_sink_list(self, log_dir):
+        d, _ = log_dir
+        blob = (d / "rank_0004.evl").read_bytes()
+        (d / "rank_0004.evl").write_bytes(blob[: len(blob) - 3])
+        # quarantined=None: damaged file silently skipped, no crash
+        got = LogSet(d).read_time_slice(0, 200, on_error="skip")
+        assert len(got) > 0
+
+    def test_try_read_time_slice_roundtrip(self, log_dir):
+        from repro.evlog import try_read_time_slice
+
+        d, parts = log_dir
+        rec, reason = try_read_time_slice(rank_log_path(d, 1), 0, 200)
+        assert reason is None
+        assert len(rec) == len(parts[1])
+
+    def test_verify_detects_corruption(self, log_dir):
+        from repro.evlog import LogReader
+        from repro.errors import LogCorruptError
+
+        d, _ = log_dir
+        path = rank_log_path(d, 0)
+        assert LogReader(path).verify() > 0
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(LogCorruptError):
+            LogReader(path).verify()

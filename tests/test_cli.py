@@ -101,3 +101,57 @@ class TestPipeline:
 
         g = nx.read_gexf(out_file)
         assert g.number_of_nodes() > 0
+
+
+class TestFaultToleranceFlags:
+    def test_checkpoint_then_resume(self, workspace, tmp_path, capsys):
+        _, world, logs, _ = workspace
+        ckpt = tmp_path / "ckpt"
+        out1 = tmp_path / "a.net.npz"
+        assert main(["synthesize", "--log-dir", str(logs),
+                     "--population", str(world), "--batch-size", "1",
+                     "--checkpoint", str(ckpt), "--out", str(out1)]) == 0
+        assert (ckpt / "manifest.json").is_file()
+
+        out2 = tmp_path / "b.net.npz"
+        assert main(["synthesize", "--log-dir", str(logs),
+                     "--population", str(world), "--batch-size", "1",
+                     "--resume", str(ckpt), "--out", str(out2)]) == 0
+        assert "resumed batches" in capsys.readouterr().out
+
+        from repro import CollocationNetwork
+
+        a = CollocationNetwork.load(out1)
+        b = CollocationNetwork.load(out2)
+        assert (a.adjacency != b.adjacency).nnz == 0
+
+    def test_quarantine_warning_and_strict(self, workspace, tmp_path, capsys):
+        import shutil
+
+        _, world, logs, _ = workspace
+        damaged = tmp_path / "damaged_logs"
+        shutil.copytree(logs, damaged)
+        victim = damaged / "rank_0001.evl"
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+
+        out = tmp_path / "q.net.npz"
+        assert main(["synthesize", "--log-dir", str(damaged),
+                     "--population", str(world), "--out", str(out)]) == 0
+        assert "quarantined" in capsys.readouterr().out
+
+        from repro.errors import LogCorruptError
+
+        with pytest.raises(LogCorruptError):
+            main(["synthesize", "--log-dir", str(damaged), "--strict",
+                  "--population", str(world), "--out", str(out)])
+
+    def test_retrying_thread_pool(self, workspace, tmp_path):
+        _, world, logs, _ = workspace
+        out = tmp_path / "t.net.npz"
+        assert main(["synthesize", "--log-dir", str(logs),
+                     "--population", str(world), "--pool", "thread",
+                     "--workers", "2", "--retries", "3",
+                     "--out", str(out)]) == 0
+        assert out.exists()
