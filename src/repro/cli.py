@@ -43,6 +43,7 @@ from . import (
     summarize,
     synthesize_from_logs,
 )
+from .evlog import salvage_rank_logs
 from .analysis import (
     age_group_degree_distributions,
     clustering_histogram,
@@ -73,26 +74,66 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         duration_hours=args.weeks * HOURS_PER_WEEK,
         n_ranks=args.ranks,
         log_cache_records=args.cache,
+        log_durability=args.durability,
+        checkpoint_every_hours=args.checkpoint_every,
+        heartbeat_timeout=args.heartbeat,
     )
     log_dir = Path(args.log_dir)
+    checkpointing = args.checkpoint is not None
+    if args.resume and not checkpointing:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
     if args.ranks == 1:
         log_dir.mkdir(parents=True, exist_ok=True)
-        result = Simulation(pop, config).run_fast(
-            log_path=log_dir / "rank_0000.evl"
-        )
-        print(f"serial run: {result.n_events:,} events")
+        log_path = log_dir / "rank_0000.evl"
+        if checkpointing:
+            # the per-hour engine supports snapshots; the fast path does not
+            result = Simulation(pop, config).run(
+                log_path=log_path,
+                checkpoint_dir=args.checkpoint,
+                resume=args.resume,
+            )
+            extra = f", {result.checkpoints_written} checkpoint(s)"
+            if result.resumed_from_hour is not None:
+                extra += f", resumed from hour {result.resumed_from_hour}"
+            print(f"serial run: {result.n_events:,} events{extra}")
+        else:
+            result = Simulation(pop, config).run_fast(log_path=log_path)
+            print(f"serial run: {result.n_events:,} events")
     else:
         part = spatial_partition(
             pop.places.coords(), pop.places.capacity.astype(float), args.ranks
         )
-        result = DistributedSimulation(pop, config, part).run(log_dir=log_dir)
+        result = DistributedSimulation(pop, config, part).run(
+            log_dir=log_dir,
+            checkpoint_dir=args.checkpoint,
+            max_restarts=args.max_restarts,
+        )
         print(
             f"distributed run on {args.ranks} ranks: "
             f"{result.total_events:,} events, "
             f"{result.total_migrations:,} migrations, "
-            f"{result.traffic.bytes_sent:,} comm bytes"
+            f"{result.traffic.bytes_sent:,} comm bytes, "
+            f"{result.checkpoints_written} checkpoint(s), "
+            f"{result.restarts} restart(s)"
         )
     print(f"logs in {log_dir}")
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    repaired = salvage_rank_logs(args.log_dir)
+    if not repaired:
+        print("nothing to repair: all rank logs are clean")
+        return 0
+    for path, salvaged in repaired:
+        detail = (
+            f"{salvaged} record(s) recovered from the WAL sidecar"
+            if salvaged
+            else "torn tail trimmed, index/trailer rebuilt"
+        )
+        print(f"repaired {path}: {detail}")
+    print(f"{len(repaired)} file(s) repaired")
     return 0
 
 
@@ -218,7 +259,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=1)
     p.add_argument("--cache", type=int, default=10_000)
     p.add_argument("--log-dir", required=True)
+    p.add_argument(
+        "--durability", choices=["none", "fsync", "wal"], default="none",
+        help="event-log durability: none (fast), fsync per chunk, or a "
+        "write-ahead journal that makes every acknowledged record "
+        "crash-safe",
+    )
+    p.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="commit resumable snapshots to DIR (see --checkpoint-every)",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=24, metavar="HOURS",
+        help="simulated hours between snapshots (default: 24)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="serial only: continue from the snapshot in --checkpoint DIR",
+    )
+    p.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="distributed only: rank liveness deadline per collective",
+    )
+    p.add_argument(
+        "--max-restarts", type=int, default=0,
+        help="distributed only: supervised restarts from the last "
+        "checkpoint after a detected rank failure",
+    )
     p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "repair", help="salvage torn EVL rank logs after a crash"
+    )
+    p.add_argument("--log-dir", required=True)
+    p.set_defaults(fn=_cmd_repair)
 
     p = sub.add_parser("synthesize", help="logs → collocation network")
     p.add_argument("--log-dir", required=True)

@@ -258,6 +258,16 @@ class SimulationConfig:
     n_ranks: int = 1
     #: event-log write cache, in records (paper nominal: 10,000)
     log_cache_records: int = 10_000
+    #: event-log durability: "none" (paper behavior — a killed rank loses
+    #: up to a cache of records), "fsync" (flushed chunks are durable), or
+    #: "wal" (journaled — a hard kill loses zero acknowledged records)
+    log_durability: str = "none"
+    #: take a resumable simulation snapshot every N simulated hours
+    #: (None disables checkpointing)
+    checkpoint_every_hours: int | None = None
+    #: seconds a rank may go without reaching a collective before the
+    #: cluster declares it dead (None disables heartbeat detection)
+    heartbeat_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.duration_hours <= 0:
@@ -266,3 +276,12 @@ class SimulationConfig:
             raise ConfigError("n_ranks must be >= 1")
         if self.log_cache_records < 1:
             raise ConfigError("log_cache_records must be >= 1")
+        if self.log_durability not in ("none", "fsync", "wal"):
+            raise ConfigError(
+                f"log_durability must be 'none', 'fsync', or 'wal', "
+                f"got {self.log_durability!r}"
+            )
+        if self.checkpoint_every_hours is not None and self.checkpoint_every_hours < 1:
+            raise ConfigError("checkpoint_every_hours must be >= 1")
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ConfigError("heartbeat_timeout must be positive")

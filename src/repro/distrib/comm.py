@@ -19,7 +19,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import CommError
+from ..errors import CommError, RankDeadError, RankFailureError
 
 __all__ = ["TrafficStats", "Communicator", "payload_nbytes"]
 
@@ -80,19 +80,42 @@ class TrafficStats:
 
 
 class _SharedBoard:
-    """Shared slots + a reusable two-phase barrier for one cluster."""
+    """Shared slots + a reusable two-phase barrier for one cluster.
 
-    def __init__(self, size: int) -> None:
+    ``heartbeat_timeout`` arms a liveness deadline on every barrier phase:
+    a rank that stops arriving (killed, hung) breaks the barrier for its
+    siblings within the deadline instead of deadlocking them.  Per-rank
+    arrival counts double as the failure detector — the ranks with the
+    fewest arrivals at detection time are the suspects.
+    """
+
+    def __init__(self, size: int, heartbeat_timeout: float | None = None) -> None:
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise CommError("heartbeat_timeout must be positive")
         self.size = size
+        self.heartbeat_timeout = heartbeat_timeout
         self.slots: list[Any] = [None] * size
         self.matrix: list[list[Any]] = [[None] * size for _ in range(size)]
         self.barrier = threading.Barrier(size)
+        # arrivals per rank; each rank writes only its own slot
+        self.sync_counts: list[int] = [0] * size
 
-    def sync(self) -> None:
+    def suspects(self) -> list[int]:
+        """Ranks that have fallen behind the barrier (likely dead)."""
+        most = max(self.sync_counts)
+        return [r for r, c in enumerate(self.sync_counts) if c < most]
+
+    def sync(self, rank: int | None = None) -> None:
+        if rank is not None:
+            self.sync_counts[rank] += 1
         try:
-            self.barrier.wait()
+            self.barrier.wait(timeout=self.heartbeat_timeout)
         except threading.BrokenBarrierError as exc:  # a rank died mid-collective
-            raise CommError("cluster barrier broken (a rank failed)") from exc
+            raise RankFailureError(
+                "cluster barrier broken (a rank failed or missed its "
+                "heartbeat deadline)",
+                suspects=self.suspects(),
+            ) from exc
 
 
 class Communicator:
@@ -110,15 +133,28 @@ class Communicator:
         self.rank = rank
         self._board = board
         self.stats = TrafficStats()
+        #: set by :meth:`die` — lets tests assert which rank was killed
+        self.dead = False
 
     @property
     def size(self) -> int:
         return self._board.size
 
-    # -- collectives -----------------------------------------------------------
+    # -- fault injection -------------------------------------------------------
+
+    def die(self) -> None:
+        """Simulate this rank being hard-killed mid-step.
+
+        Raises :class:`~repro.errors.RankDeadError`, which the cluster
+        runner treats as a silent exit: no barrier abort, no cleanup —
+        siblings only learn of the death when the heartbeat deadline
+        breaks the next barrier, exactly like a SIGKILLed MPI process.
+        """
+        self.dead = True
+        raise RankDeadError(f"rank {self.rank} killed by fault injection")
 
     def barrier(self) -> None:
-        self._board.sync()
+        self._board.sync(self.rank)
         self.stats.record("barrier", 0, 0)
 
     def alltoall(self, payloads: Sequence[Any]) -> list[Any]:
@@ -139,26 +175,26 @@ class Communicator:
             for j, p in enumerate(payloads)
             if j != self.rank and payload_nbytes(p) > 0
         )
-        self._board.sync()
+        self._board.sync(self.rank)
         received = [self._board.matrix[src][self.rank] for src in range(self.size)]
-        self._board.sync()  # nobody reuses the matrix until all have read
+        self._board.sync(self.rank)  # nobody reuses the matrix until all have read
         self.stats.record("alltoall", n_msg, sent)
         return received
 
     def allgather(self, obj: Any) -> list[Any]:
         self._board.slots[self.rank] = obj
-        self._board.sync()
+        self._board.sync(self.rank)
         result = list(self._board.slots)
-        self._board.sync()
+        self._board.sync(self.rank)
         nbytes = payload_nbytes(obj) * (self.size - 1)
         self.stats.record("allgather", self.size - 1, nbytes)
         return result
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         self._board.slots[self.rank] = obj
-        self._board.sync()
+        self._board.sync(self.rank)
         result = list(self._board.slots) if self.rank == root else None
-        self._board.sync()
+        self._board.sync(self.rank)
         if self.rank != root:
             self.stats.record("gather", 1, payload_nbytes(obj))
         else:
@@ -168,9 +204,9 @@ class Communicator:
     def bcast(self, obj: Any, root: int = 0) -> Any:
         if self.rank == root:
             self._board.slots[root] = obj
-        self._board.sync()
+        self._board.sync(self.rank)
         result = self._board.slots[root]
-        self._board.sync()
+        self._board.sync(self.rank)
         if self.rank == root:
             self.stats.record("bcast", self.size - 1, payload_nbytes(obj) * (self.size - 1))
         else:

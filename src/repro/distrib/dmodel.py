@@ -14,17 +14,27 @@ event records equals the serial engine's event stream exactly.
 
 from __future__ import annotations
 
+import hashlib
+import io
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
+from .._util import atomic_write_bytes
 from ..config import HOURS_PER_WEEK, SimulationConfig
-from ..errors import SimulationError
+from ..errors import CheckpointError, RankDeadError, RankFailureError, SimulationError
 from ..evlog.multifile import rank_log_path
 from ..evlog.schema import LogRecordArray, empty_records
 from ..evlog.writer import CachedLogWriter
+from ..sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    read_manifest,
+    sim_checkpoint_digest,
+    write_manifest,
+)
 from ..synthpop.generator import SyntheticPopulation
 from ..synthpop.schedule import WeekGrid, WeeklyScheduleGenerator
 from .comm import Communicator, TrafficStats
@@ -32,7 +42,79 @@ from .migration import pack_migrants, unpack_migrants
 from .partition import PlacePartition
 from .simcluster import SimCluster
 
-__all__ = ["DistributedSimulation", "DistributedRunResult"]
+__all__ = [
+    "DistributedSimulation",
+    "DistributedRunResult",
+    "DIST_MANIFEST",
+    "DIST_STATE",
+]
+
+DIST_MANIFEST = "dist_manifest.json"
+DIST_STATE = "dist_state.npz"
+
+
+def _save_dist_checkpoint(
+    directory: Path, digest: str, next_hour: int, states: list[dict]
+) -> None:
+    """Commit one collective snapshot: bulky npz first, manifest last."""
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    offsets: list[int] = []
+    for r, st in enumerate(states):
+        arrays[f"ids_{r}"] = st["ids"]
+        arrays[f"start_{r}"] = st["spell_start"]
+        arrays[f"act_{r}"] = st["spell_act"]
+        arrays[f"place_{r}"] = st["spell_place"]
+        arrays[f"records_{r}"] = st["records"]
+        arrays[f"mig_{r}"] = st["migrations_out"]
+        offsets.append(int(st["writer_offset"]))
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    atomic_write_bytes(directory / DIST_STATE, buf.getvalue())
+    write_manifest(
+        directory,
+        DIST_MANIFEST,
+        {
+            "version": CHECKPOINT_VERSION,
+            "digest": digest,
+            "next_hour": int(next_hour),
+            "n_ranks": len(states),
+            "writer_offsets": offsets,
+        },
+    )
+
+
+def _load_dist_checkpoint(
+    directory: Path, digest: str, n_ranks: int
+) -> tuple[int, list[dict]]:
+    """Load a collective snapshot; returns ``(next_hour, per-rank states)``."""
+    manifest = read_manifest(directory, DIST_MANIFEST, expected_digest=digest)
+    if manifest.get("n_ranks") != n_ranks:
+        raise CheckpointError(
+            f"checkpoint was written for {manifest.get('n_ranks')} ranks, "
+            f"this run has {n_ranks}"
+        )
+    state_path = directory / DIST_STATE
+    if not state_path.is_file():
+        raise CheckpointError(
+            f"manifest in {directory} has no {DIST_STATE} beside it"
+        )
+    offsets = manifest["writer_offsets"]
+    states: list[dict] = []
+    with np.load(state_path) as data:
+        for r in range(n_ranks):
+            states.append(
+                {
+                    "ids": data[f"ids_{r}"],
+                    "spell_start": data[f"start_{r}"],
+                    "spell_act": data[f"act_{r}"],
+                    "spell_place": data[f"place_{r}"],
+                    "records": data[f"records_{r}"],
+                    "migrations_out": data[f"mig_{r}"],
+                    "writer_offset": int(offsets[r]),
+                }
+            )
+    return int(manifest["next_hour"]), states
 
 
 class _ScheduleCache:
@@ -67,6 +149,7 @@ class _RankOutput:
     migrations_out: np.ndarray  # per-hour counts
     hosted_final: int
     log_path: Path | None
+    checkpoints: int = 0
 
 
 @dataclass
@@ -80,6 +163,10 @@ class DistributedRunResult:
     traffic: TrafficStats
     per_rank_traffic: list[TrafficStats] = field(default_factory=list)
     log_paths: list[Path] = field(default_factory=list)
+    #: supervised restarts after detected rank failures
+    restarts: int = 0
+    #: collective snapshots committed (final successful attempt)
+    checkpoints_written: int = 0
 
     @property
     def total_migrations(self) -> int:
@@ -143,16 +230,43 @@ class DistributedSimulation:
         self.config = config
         self.partition = partition
 
+    def checkpoint_digest(self, with_log: bool) -> str:
+        """Configuration + partition fingerprint guarding resume."""
+        base = sim_checkpoint_digest(self.config, with_log=with_log)
+        h = hashlib.sha256(base.encode())
+        h.update(self.partition.assignment.tobytes())
+        return h.hexdigest()
+
     def run(
         self,
         log_dir: str | Path | None = None,
         cluster: "SimCluster | None" = None,
+        checkpoint_dir: str | Path | None = None,
+        fault_hook: "Callable[[Communicator, int], None] | None" = None,
+        max_restarts: int = 0,
     ) -> DistributedRunResult:
         """Execute the run on ``config.n_ranks`` ranks.
 
         ``cluster`` may be any object with a compatible ``run(rank_fn)``
         (e.g. :class:`~repro.distrib.proccluster.ProcessBspCluster` for
         real OS processes); defaults to the in-process simulated cluster.
+
+        Fault tolerance
+        ---------------
+        With ``checkpoint_dir`` set and ``config.checkpoint_every_hours``
+        configured, ranks commit a collective snapshot every N hours:
+        per-rank hosted agents, open spells, emitted records, and log-file
+        byte offsets are gathered to rank 0, which writes them atomically
+        (state npz first, manifest last).  With ``max_restarts > 0`` and the
+        default in-process cluster, a detected rank failure
+        (:class:`~repro.errors.RankFailureError`, raised when a rank misses
+        its ``config.heartbeat_timeout`` deadline) triggers a supervised
+        restart: a fresh cluster restores every rank from the last
+        snapshot — truncating each rank's log back to the recorded offset —
+        and replays.  ``fault_hook(comm, hour)`` runs at the top of every
+        rank-hour and exists for fault injection (call ``comm.die()`` to
+        simulate a hard kill); hooks must be stateful so they do not
+        re-kill after a restart.
         """
         duration = self.config.duration_hours
         n_ranks = self.config.n_ranks
@@ -164,27 +278,57 @@ class DistributedSimulation:
         if log_directory is not None:
             log_directory.mkdir(parents=True, exist_ok=True)
         cache_records = self.config.log_cache_records
+        durability = self.config.log_durability
+        every = self.config.checkpoint_every_hours
+        ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        digest = self.checkpoint_digest(with_log=log_directory is not None)
 
-        def rank_fn(comm: Communicator) -> _RankOutput:
+        def rank_fn(comm: Communicator, resume_state: dict | None) -> _RankOutput:
             rank = comm.rank
             week = cache.week(0)
-            place0 = week.place[:, 0]
-            act0 = week.activity[:, 0]
-            mine = assignment[place0.astype(np.int64)] == rank
-            ids = np.flatnonzero(mine).astype(np.uint32)
-            spell_start = np.zeros(len(ids), dtype=np.int64)
-            spell_act = act0[ids].astype(np.uint32)
-            spell_place = place0[ids].astype(np.uint32)
+            checkpoints = 0
+            if resume_state is not None:
+                ids = resume_state["ids"].astype(np.uint32).copy()
+                spell_start = resume_state["spell_start"].astype(np.int64).copy()
+                spell_act = resume_state["spell_act"].astype(np.uint32).copy()
+                spell_place = resume_state["spell_place"].astype(np.uint32).copy()
+                migrations_out = (
+                    resume_state["migrations_out"].astype(np.int64).copy()
+                )
+                start_hour = int(resume_state["next_hour"])
+            else:
+                place0 = week.place[:, 0]
+                act0 = week.activity[:, 0]
+                mine = assignment[place0.astype(np.int64)] == rank
+                ids = np.flatnonzero(mine).astype(np.uint32)
+                spell_start = np.zeros(len(ids), dtype=np.int64)
+                spell_act = act0[ids].astype(np.uint32)
+                spell_place = place0[ids].astype(np.uint32)
+                migrations_out = np.zeros(duration, dtype=np.int64)
+                start_hour = 1
 
             writer = None
             path = None
             if log_directory is not None:
                 path = rank_log_path(log_directory, rank)
-                writer = CachedLogWriter(
-                    path, rank=rank, cache_records=cache_records
-                )
+                if resume_state is not None:
+                    writer = CachedLogWriter.open_resume(
+                        path,
+                        cache_records=cache_records,
+                        durability=durability,
+                        rank=rank,
+                        at_offset=int(resume_state["writer_offset"]),
+                    )
+                else:
+                    writer = CachedLogWriter(
+                        path,
+                        rank=rank,
+                        cache_records=cache_records,
+                        durability=durability,
+                    )
             records: list[LogRecordArray] = []
-            migrations_out = np.zeros(duration, dtype=np.int64)
+            if resume_state is not None and len(resume_state["records"]):
+                records.append(resume_state["records"])
 
             def emit(rec: LogRecordArray) -> None:
                 if len(rec):
@@ -192,10 +336,13 @@ class DistributedSimulation:
                     if writer is not None:
                         writer.log_batch(rec)
 
+            killed = False
             try:
-                for hour in range(1, duration):
+                for hour in range(start_hour, duration):
+                    if fault_hook is not None:
+                        fault_hook(comm, hour)
                     week_index, hour_of_week = divmod(hour, HOURS_PER_WEEK)
-                    if hour_of_week == 0 or hour == 1:
+                    if hour_of_week == 0 or hour == start_hour:
                         week = cache.week(week_index)
                     act_col = week.activity[:, hour_of_week]
                     place_col = week.place[:, hour_of_week]
@@ -257,6 +404,41 @@ class DistributedSimulation:
                             [spell_place, incoming["place"]]
                         )
 
+                    if (
+                        ckpt_dir is not None
+                        and every
+                        and (hour + 1) % every == 0
+                        and (hour + 1) < duration
+                    ):
+                        if writer is not None:
+                            # flush so the offset is a chunk boundary
+                            writer.flush()
+                        merged = (
+                            np.concatenate(records)
+                            if len(records) > 1
+                            else (records[0] if records else empty_records(0))
+                        )
+                        records = [merged]
+                        state = {
+                            "ids": ids,
+                            "spell_start": spell_start,
+                            "spell_act": spell_act,
+                            "spell_place": spell_place,
+                            "records": merged,
+                            "migrations_out": migrations_out,
+                            "writer_offset": (
+                                writer.offset if writer is not None else -1
+                            ),
+                        }
+                        gathered = comm.gather(state, root=0)
+                        if gathered is not None:
+                            _save_dist_checkpoint(
+                                ckpt_dir, digest, hour + 1, gathered
+                            )
+                        # nobody proceeds until the snapshot is committed
+                        comm.barrier()
+                        checkpoints += 1
+
                 # close remaining spells
                 if len(ids):
                     rec = empty_records(len(ids))
@@ -266,8 +448,13 @@ class DistributedSimulation:
                     rec["activity"] = spell_act
                     rec["place"] = spell_place
                     emit(rec)
+            except RankDeadError:
+                # simulated hard kill: skip all cleanup so the log file is
+                # left torn, exactly as a SIGKILL would
+                killed = True
+                raise
             finally:
-                if writer is not None:
+                if writer is not None and not killed:
                     writer.close()
 
             merged = (
@@ -280,11 +467,36 @@ class DistributedSimulation:
                 migrations_out=migrations_out,
                 hosted_final=len(ids),
                 log_path=path,
+                checkpoints=checkpoints,
             )
 
-        if cluster is None:
-            cluster = SimCluster(n_ranks)
-        result = cluster.run(rank_fn)
+        restarts = 0
+        while True:
+            resume_states: list[dict] | None = None
+            if ckpt_dir is not None and (ckpt_dir / DIST_MANIFEST).is_file():
+                next_hour, resume_states = _load_dist_checkpoint(
+                    ckpt_dir, digest, n_ranks
+                )
+                for st in resume_states:
+                    st["next_hour"] = next_hour
+            attempt_cluster = cluster
+            if attempt_cluster is None:
+                attempt_cluster = SimCluster(
+                    n_ranks, heartbeat_timeout=self.config.heartbeat_timeout
+                )
+            rank_args = [
+                (resume_states[r] if resume_states is not None else None,)
+                for r in range(n_ranks)
+            ]
+            try:
+                result = attempt_cluster.run(rank_fn, rank_args=rank_args)
+                break
+            except RankFailureError:
+                # supervised restart only with the default in-process
+                # cluster (a caller-provided cluster may not be reusable)
+                if cluster is not None or restarts >= max_restarts:
+                    raise
+                restarts += 1
         outputs: list[_RankOutput] = result.returns
 
         hosted_total = sum(o.hosted_final for o in outputs)
@@ -304,4 +516,6 @@ class DistributedSimulation:
             traffic=result.total_traffic,
             per_rank_traffic=result.traffic,
             log_paths=[o.log_path for o in outputs if o.log_path is not None],
+            restarts=restarts,
+            checkpoints_written=outputs[0].checkpoints,
         )

@@ -11,15 +11,23 @@ Threads, not processes: the simulated cluster exists to *model* rank
 topology, place ownership, and communication volume, not to win wall-clock
 speed (numpy releases the GIL for large kernels anyway; real task-parallel
 speedup lives in :class:`~repro.distrib.taskpool.ProcessPool`).
+
+Failure semantics mirror a real MPI job: a rank raising an ordinary
+exception aborts the barrier so siblings fail fast with the root cause; a
+rank raising :class:`~repro.errors.RankDeadError` (via
+``Communicator.die``) exits *silently*, and detection is left to the
+heartbeat deadline (``heartbeat_timeout``) — surviving ranks then raise
+:class:`~repro.errors.RankFailureError` naming the suspects.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from ..errors import CommError
+from ..errors import CommError, RankDeadError, RankFailureError
 from .comm import Communicator, TrafficStats, _SharedBoard
 
 __all__ = ["SimCluster", "ClusterRunResult"]
@@ -42,6 +50,11 @@ class ClusterRunResult:
 class SimCluster:
     """A simulated cluster of ``n_ranks`` lock-stepped ranks.
 
+    ``heartbeat_timeout`` (seconds) arms a liveness deadline on every
+    collective: a rank that stops participating breaks the barrier for its
+    siblings within the deadline instead of stalling the run until the
+    overall ``timeout``.
+
     Example
     -------
     >>> cluster = SimCluster(4)
@@ -51,10 +64,15 @@ class SimCluster:
     [6, 6, 6, 6]
     """
 
-    def __init__(self, n_ranks: int) -> None:
+    def __init__(
+        self, n_ranks: int, heartbeat_timeout: float | None = None
+    ) -> None:
         if n_ranks < 1:
             raise CommError(f"cluster needs at least one rank, got {n_ranks}")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise CommError("heartbeat_timeout must be positive")
         self.n_ranks = n_ranks
+        self.heartbeat_timeout = heartbeat_timeout
 
     def run(
         self,
@@ -65,22 +83,32 @@ class SimCluster:
         """Execute ``rank_fn(comm, *rank_args[rank])`` on every rank.
 
         Any rank raising propagates the first exception to the caller after
-        breaking the barrier so sibling ranks do not deadlock.
+        breaking the barrier so sibling ranks do not deadlock.  ``timeout``
+        bounds the whole run: it is one shared deadline for joining every
+        rank thread, not a per-thread allowance (n slow ranks cannot
+        stretch the wait to n × timeout).
         """
         if rank_args is not None and len(rank_args) != self.n_ranks:
             raise CommError(
                 f"rank_args must have {self.n_ranks} entries, got {len(rank_args)}"
             )
-        board = _SharedBoard(self.n_ranks)
+        board = _SharedBoard(self.n_ranks, heartbeat_timeout=self.heartbeat_timeout)
         comms = [Communicator(r, board) for r in range(self.n_ranks)]
         returns: list[Any] = [None] * self.n_ranks
         errors: list[tuple[int, BaseException]] = []
+        dead_ranks: list[int] = []
         lock = threading.Lock()
 
         def runner(rank: int) -> None:
             args = rank_args[rank] if rank_args is not None else ()
             try:
                 returns[rank] = rank_fn(comms[rank], *args)
+            except RankDeadError:
+                # simulated hard kill: exit silently, leave the barrier
+                # intact — siblings must detect the death via the
+                # heartbeat deadline, as with a real SIGKILLed process
+                with lock:
+                    dead_ranks.append(rank)
             except BaseException as exc:  # noqa: BLE001 - rethrown below
                 with lock:
                     errors.append((rank, exc))
@@ -98,12 +126,21 @@ class SimCluster:
             ]
             for t in threads:
                 t.start()
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
             for t in threads:
-                t.join(timeout=timeout)
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                t.join(timeout=remaining)
                 if t.is_alive():
                     board.barrier.abort()
                     raise CommError(
-                        f"rank thread {t.name} did not finish within {timeout}s"
+                        f"rank thread {t.name} still running at the shared "
+                        f"{timeout}s deadline"
                     )
 
         if errors:
@@ -115,7 +152,20 @@ class SimCluster:
                     if not isinstance(e, CommError):
                         rank, exc = r, e
                         break
+            if isinstance(exc, RankFailureError):
+                suspects = sorted(set(exc.suspects) | set(dead_ranks))
+                raise RankFailureError(
+                    f"rank {rank} detected a failed rank "
+                    f"(suspects: {suspects}): {exc}",
+                    suspects=suspects,
+                ) from exc
             raise CommError(f"rank {rank} failed: {exc!r}") from exc
+        if dead_ranks:
+            # every surviving rank returned before noticing (or n_ranks == 1)
+            suspects = sorted(dead_ranks)
+            raise RankFailureError(
+                f"rank(s) {suspects} died during the run", suspects=suspects
+            )
         return ClusterRunResult(
             returns=returns, traffic=[c.stats for c in comms]
         )

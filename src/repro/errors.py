@@ -14,6 +14,8 @@ __all__ = [
     "ScheduleError",
     "SimulationError",
     "CommError",
+    "RankFailureError",
+    "RankDeadError",
     "PartitionError",
     "TaskRetryError",
     "CheckpointError",
@@ -49,6 +51,26 @@ class SimulationError(ReproError):
 
 class CommError(ReproError):
     """Communicator misuse (bad rank, mismatched collective, closed cluster)."""
+
+
+class RankFailureError(CommError):
+    """A rank stopped participating in collectives (missed its heartbeat
+    deadline or broke the barrier).
+
+    ``suspects`` lists the ranks that had made the fewest barrier arrivals
+    when the failure was detected — the ranks most likely dead.
+    """
+
+    def __init__(self, message: str, suspects: list[int] | None = None) -> None:
+        super().__init__(message)
+        self.suspects: list[int] = suspects or []
+
+
+class RankDeadError(ReproError):
+    """Raised by :meth:`~repro.distrib.comm.Communicator.die` to simulate a
+    hard rank kill: the runner unwinds the rank's stack *without* notifying
+    siblings, exactly like a SIGKILLed MPI process — detection must come
+    from the heartbeat deadline, not from exception propagation."""
 
 
 class PartitionError(ReproError):

@@ -24,9 +24,9 @@ uses as its size strawman.
 
 from .schema import LOG_DTYPE, RECORD_BYTES, LogRecordArray, empty_records, make_records
 from .format import EvlHeader, ChunkInfo
-from .writer import CachedLogWriter, WriterStats
+from .writer import CachedLogWriter, WriterStats, DurabilityPolicy
 from .reader import LogReader
-from .multifile import LogSet, try_read_time_slice, write_rank_logs
+from .multifile import LogSet, salvage_rank_logs, try_read_time_slice, write_rank_logs
 from .textlog import TextLogWriter, text_log_size
 
 __all__ = [
@@ -39,8 +39,10 @@ __all__ = [
     "ChunkInfo",
     "CachedLogWriter",
     "WriterStats",
+    "DurabilityPolicy",
     "LogReader",
     "LogSet",
+    "salvage_rank_logs",
     "try_read_time_slice",
     "write_rank_logs",
     "TextLogWriter",

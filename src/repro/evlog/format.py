@@ -47,15 +47,23 @@ __all__ = [
     "unpack_index",
     "pack_trailer",
     "unpack_trailer",
+    "pack_wal_header",
+    "unpack_wal_header",
+    "pack_wal_frame",
+    "scan_wal_frames",
     "HEADER_BYTES",
     "CHUNK_HEADER_BYTES",
     "TRAILER_BYTES",
+    "WAL_HEADER_BYTES",
+    "WAL_FRAME_HEADER_BYTES",
 ]
 
 EVL_MAGIC = b"EVLG"
 CHUNK_MAGIC = b"CHNK"
 INDEX_MAGIC = b"INDX"
 TRAILER_MAGIC = b"EVLE"
+WAL_MAGIC = b"EVLW"
+WAL_FRAME_MAGIC = b"WREC"
 EVL_VERSION = 1
 
 FLAG_ZLIB = 0x0001
@@ -65,10 +73,14 @@ _CHUNK_HEADER = struct.Struct("<4sIII")  # magic, n_records, payload_bytes, crc3
 _INDEX_HEADER = struct.Struct("<4sI")  # magic, n_chunks
 _INDEX_ENTRY = struct.Struct("<QIII")  # offset, n_records, tmin, tmax
 _TRAILER = struct.Struct("<QQ4s")  # index_offset, total_records, magic
+_WAL_HEADER = struct.Struct("<4sHHI")  # magic, version, recsize, rank
+_WAL_FRAME = struct.Struct("<4sQII")  # magic, base_record, n_records, crc32
 
 HEADER_BYTES = _HEADER.size
 CHUNK_HEADER_BYTES = _CHUNK_HEADER.size
 TRAILER_BYTES = _TRAILER.size
+WAL_HEADER_BYTES = _WAL_HEADER.size
+WAL_FRAME_HEADER_BYTES = _WAL_FRAME.size
 
 
 @dataclass(frozen=True)
@@ -204,3 +216,76 @@ def unpack_trailer(buf: bytes | memoryview) -> tuple[int, int] | None:
     if index_offset < HEADER_BYTES or index_offset > len(buf) - TRAILER_BYTES:
         return None
     return index_offset, total_records
+
+
+# -- write-ahead log sidecar --------------------------------------------------
+#
+# The WAL journals the writer's un-chunked cache records to ``<file>.wal``:
+# one CRC-framed append per logging call, fsynced before the call returns.
+# Each frame carries ``base_record`` — how many records preceded it in the
+# writer's lifetime — so salvage can compute exactly which frame rows are
+# missing from the main file's intact chunks, even when a crash lands
+# between a chunk commit and the WAL reset that follows it.
+
+
+def pack_wal_header(rank: int) -> bytes:
+    """Serialize the 12-byte WAL sidecar header."""
+    return _WAL_HEADER.pack(WAL_MAGIC, EVL_VERSION, RECORD_BYTES, rank)
+
+
+def unpack_wal_header(buf: bytes | memoryview) -> int:
+    """Validate a WAL header; returns the writer rank."""
+    if len(buf) < WAL_HEADER_BYTES:
+        raise LogTruncatedError("sidecar shorter than WAL header")
+    magic, version, recsize, rank = _WAL_HEADER.unpack_from(buf)
+    if magic != WAL_MAGIC:
+        raise LogFormatError(f"bad magic {magic!r}: not an EVL WAL sidecar")
+    if version != EVL_VERSION:
+        raise LogFormatError(f"unsupported WAL version {version}")
+    if recsize != RECORD_BYTES:
+        raise LogFormatError(
+            f"WAL record size {recsize} does not match schema ({RECORD_BYTES})"
+        )
+    return rank
+
+
+def pack_wal_frame(record_bytes_image: bytes, base_record: int) -> bytes:
+    """Frame one journal append (never compressed: latency over size)."""
+    n_records, rem = divmod(len(record_bytes_image), RECORD_BYTES)
+    if rem:
+        raise LogFormatError("WAL frame payload is not whole records")
+    crc = zlib.crc32(record_bytes_image) & 0xFFFFFFFF
+    return (
+        _WAL_FRAME.pack(WAL_FRAME_MAGIC, base_record, n_records, crc)
+        + record_bytes_image
+    )
+
+
+def scan_wal_frames(buf: bytes | memoryview) -> list[tuple[int, bytes]]:
+    """Recover ``(base_record, record_bytes_image)`` for every intact frame.
+
+    Scans forward from the WAL header and stops silently at the first torn
+    or corrupt frame — a kill mid-append leaves exactly such a tail, and
+    everything before it was acknowledged.  A sidecar too short for its
+    header yields no frames.
+    """
+    frames: list[tuple[int, bytes]] = []
+    try:
+        unpack_wal_header(buf)
+    except (LogTruncatedError, LogFormatError):
+        return frames
+    offset = WAL_HEADER_BYTES
+    while offset + WAL_FRAME_HEADER_BYTES <= len(buf):
+        magic, base, n_records, crc = _WAL_FRAME.unpack_from(buf, offset)
+        if magic != WAL_FRAME_MAGIC:
+            break
+        start = offset + WAL_FRAME_HEADER_BYTES
+        end = start + n_records * RECORD_BYTES
+        if end > len(buf):
+            break
+        payload = bytes(buf[start:end])
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            break
+        frames.append((base, payload))
+        offset = end
+    return frames

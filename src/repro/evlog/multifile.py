@@ -28,13 +28,14 @@ import numpy as np
 from ..errors import LogFormatError
 from .reader import LogReader
 from .schema import LogRecordArray, empty_records
-from .writer import CachedLogWriter
+from .writer import CachedLogWriter, wal_sidecar_path
 
 __all__ = [
     "LogSet",
     "rank_log_path",
     "write_rank_logs",
     "try_read_time_slice",
+    "salvage_rank_logs",
 ]
 
 
@@ -86,6 +87,40 @@ def write_rank_logs(
             writer.log_batch(records)
         paths.append(path)
     return paths
+
+
+def salvage_rank_logs(directory: str | Path) -> list[tuple[Path, int]]:
+    """Repair every torn ``rank_NNNN.evl`` file in *directory* in place.
+
+    A file is torn when its writer died before ``close``: it has no valid
+    trailer, and under WAL durability it may have a ``.wal`` sidecar with
+    acknowledged records that never made it into a chunk.  Each torn file
+    is reopened with :meth:`CachedLogWriter.open_resume` (which salvages
+    intact chunks plus the WAL tail) and cleanly closed, leaving a valid
+    EVL file that strict readers accept.
+
+    Returns ``(path, salvaged_wal_records)`` for every file that was
+    repaired; files already cleanly closed (and without a stale sidecar)
+    are untouched.  This is the recovery step a supervisor runs before
+    feeding a crashed run's log directory to synthesis.
+    """
+    directory = Path(directory)
+    repaired: list[tuple[Path, int]] = []
+    for path in sorted(directory.iterdir()):
+        if not _RANK_FILE_RE.match(path.name):
+            continue
+        needs_repair = wal_sidecar_path(path).is_file()
+        if not needs_repair:
+            try:
+                LogReader(path, strict=True)
+            except LogFormatError:
+                needs_repair = True
+        if not needs_repair:
+            continue
+        writer = CachedLogWriter.open_resume(path)
+        stats = writer.close()
+        repaired.append((path, stats.salvaged_records))
+    return repaired
 
 
 class LogSet:

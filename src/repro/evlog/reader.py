@@ -32,7 +32,38 @@ from .format import (
 )
 from .schema import LogRecordArray, empty_records, records_from_bytes
 
-__all__ = ["LogReader"]
+__all__ = ["LogReader", "scan_intact_chunks"]
+
+
+def scan_intact_chunks(
+    buf: bytes | memoryview, compressed: bool, start: int = HEADER_BYTES
+) -> tuple[list[ChunkInfo], int]:
+    """Recover chunk locations by scanning forward from *start*.
+
+    Returns ``(chunks, end_offset)`` where ``end_offset`` is the byte just
+    past the last intact chunk — the safe truncation point for salvage.
+    The scan stops at the first torn or corrupt chunk (and at the index,
+    whose magic differs), so everything before ``end_offset`` is verified.
+
+    Shared by :class:`LogReader` (recovering trailer-less files) and
+    :meth:`~repro.evlog.writer.CachedLogWriter.open_resume` (reopening a
+    torn file for appending).
+    """
+    chunks: list[ChunkInfo] = []
+    offset = start
+    while offset < len(buf):
+        try:
+            image, n, next_offset = read_chunk_at(buf, offset, compressed)
+        except (LogTruncatedError, LogFormatError):
+            break  # first damaged/incomplete chunk ends recovery
+        rec = records_from_bytes(image)
+        t_min = int(rec["start"].min()) if n else 0
+        t_max = int(rec["stop"].max()) if n else 0
+        chunks.append(
+            ChunkInfo(offset=offset, n_records=n, t_min=t_min, t_max=t_max)
+        )
+        offset = next_offset
+    return chunks, offset
 
 
 class LogReader:
@@ -110,21 +141,7 @@ class LogReader:
 
     def _scan_chunks(self) -> list[ChunkInfo]:
         """Recover chunk locations by scanning forward from the header."""
-        chunks: list[ChunkInfo] = []
-        offset = HEADER_BYTES
-        compressed = self.header.compressed
-        while offset < len(self._buf):
-            try:
-                image, n, next_offset = read_chunk_at(self._buf, offset, compressed)
-            except (LogTruncatedError, LogFormatError):
-                break  # first damaged/incomplete chunk ends recovery
-            rec = records_from_bytes(image)
-            t_min = int(rec["start"].min()) if n else 0
-            t_max = int(rec["stop"].max()) if n else 0
-            chunks.append(
-                ChunkInfo(offset=offset, n_records=n, t_min=t_min, t_max=t_max)
-            )
-            offset = next_offset
+        chunks, _end = scan_intact_chunks(self._buf, self.header.compressed)
         return chunks
 
     # -- basic properties ------------------------------------------------------

@@ -26,7 +26,8 @@ event semantics; serial-vs-distributed equivalence is a test invariant.
 from .events import grid_to_events, events_to_grid, OpenSpells
 from .engine import Simulation, SimulationResult
 from .disease import DiseaseModel, DiseaseState, TransmissionRecord
-from .observers import Observer, PrevalenceObserver, OccupancyObserver, MovementObserver
+from .observers import Observer, StatefulObserver, PrevalenceObserver, OccupancyObserver, MovementObserver
+from .checkpoint import SimSnapshot, load_sim_checkpoint, save_sim_checkpoint
 from .interventions import (
     Intervention,
     CloseSchools,
@@ -45,6 +46,10 @@ __all__ = [
     "DiseaseState",
     "TransmissionRecord",
     "Observer",
+    "StatefulObserver",
+    "SimSnapshot",
+    "load_sim_checkpoint",
+    "save_sim_checkpoint",
     "PrevalenceObserver",
     "OccupancyObserver",
     "MovementObserver",

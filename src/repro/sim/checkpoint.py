@@ -1,0 +1,183 @@
+"""Simulation checkpoint/restore: periodic snapshots with atomic commit.
+
+A multi-week run at the paper's scale (2.9 M agents, four simulated weeks)
+is hours of wall clock; a crash near the end without a checkpoint repeats
+all of it.  This module snapshots everything the engine needs to continue
+*bit-for-bit*: the open activity spells, the records emitted so far, the
+disease layer (including its RNG stream position), observer state, and the
+event-log writer's byte position (so the log file can be truncated back to
+the exact commit point on resume).
+
+The commit protocol mirrors the synthesis checkpoints of
+:mod:`repro.core.pipeline`: the bulky state goes into ``sim_state.npz``
+first, the small ``sim_manifest.json`` is written last — both atomically —
+so the manifest is the commit point and a crash mid-checkpoint leaves the
+previous snapshot in force.  A configuration digest guards against
+resuming a snapshot under different run parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .._util import atomic_write_bytes
+from ..errors import CheckpointError
+
+__all__ = [
+    "SIM_MANIFEST",
+    "SIM_STATE",
+    "SimSnapshot",
+    "sim_checkpoint_digest",
+    "save_sim_checkpoint",
+    "load_sim_checkpoint",
+    "pickle_to_array",
+    "array_to_pickle",
+    "write_manifest",
+    "read_manifest",
+]
+
+SIM_MANIFEST = "sim_manifest.json"
+SIM_STATE = "sim_state.npz"
+CHECKPOINT_VERSION = 1
+
+
+def pickle_to_array(obj: Any) -> np.ndarray:
+    """Serialize *obj* into a uint8 array (npz-storable without
+    ``allow_pickle`` at load time — the bytes are explicit data)."""
+    return np.frombuffer(pickle.dumps(obj, protocol=4), dtype=np.uint8)
+
+
+def array_to_pickle(arr: np.ndarray) -> Any:
+    """Inverse of :func:`pickle_to_array`."""
+    return pickle.loads(arr.tobytes())
+
+
+@dataclass
+class SimSnapshot:
+    """Everything needed to continue a run from hour ``next_hour``."""
+
+    next_hour: int
+    spell_start: np.ndarray
+    spell_activity: np.ndarray
+    spell_place: np.ndarray
+    #: all event records emitted before ``next_hour``
+    records: np.ndarray
+    #: event-log byte offset at the commit point (-1: run had no log)
+    writer_offset: int = -1
+    #: disease layer state dict (see ``DiseaseModel.state_dict``), or None
+    disease: dict[str, Any] | None = None
+    #: ``state_dict`` of each stateful observer, in observer order
+    observers: list[dict[str, Any]] = field(default_factory=list)
+
+
+def sim_checkpoint_digest(config: Any, with_log: bool) -> str:
+    """Fingerprint of everything that determines a run's trajectory.
+
+    Any change to the configuration (population scale/seed, schedules,
+    disease parameters, duration, cache size, durability) or to whether a
+    log is written makes a snapshot unusable, because replay would diverge
+    from the checkpointed prefix.
+    """
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "config": dataclasses.asdict(config),
+        "with_log": bool(with_log),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def write_manifest(directory: Path, name: str, manifest: dict) -> None:
+    """Atomically commit a checkpoint manifest (the commit point)."""
+    atomic_write_bytes(
+        directory / name,
+        json.dumps(manifest, indent=2, sort_keys=True).encode(),
+    )
+
+
+def read_manifest(
+    directory: Path, name: str, expected_digest: str | None = None
+) -> dict:
+    """Read and validate a checkpoint manifest."""
+    path = directory / name
+    if not path.is_file():
+        raise CheckpointError(f"no checkpoint manifest at {path}")
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint manifest {path}: {exc}"
+        ) from exc
+    if manifest.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {manifest.get('version')} unsupported "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    if expected_digest is not None and manifest.get("digest") != expected_digest:
+        raise CheckpointError(
+            f"checkpoint in {directory} was written for a different "
+            "configuration; refusing to resume"
+        )
+    return manifest
+
+
+def save_sim_checkpoint(
+    directory: str | Path, digest: str, snapshot: SimSnapshot
+) -> None:
+    """Persist one snapshot: state first, manifest last, both atomic."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {
+        "spell_start": snapshot.spell_start,
+        "spell_activity": snapshot.spell_activity,
+        "spell_place": snapshot.spell_place,
+        "records": snapshot.records,
+        "aux": pickle_to_array(
+            {"disease": snapshot.disease, "observers": snapshot.observers}
+        ),
+    }
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    atomic_write_bytes(directory / SIM_STATE, buf.getvalue())
+    write_manifest(
+        directory,
+        SIM_MANIFEST,
+        {
+            "version": CHECKPOINT_VERSION,
+            "digest": digest,
+            "next_hour": int(snapshot.next_hour),
+            "writer_offset": int(snapshot.writer_offset),
+        },
+    )
+
+
+def load_sim_checkpoint(directory: str | Path, digest: str) -> SimSnapshot:
+    """Load a snapshot, refusing digests from a different configuration."""
+    directory = Path(directory)
+    manifest = read_manifest(directory, SIM_MANIFEST, expected_digest=digest)
+    state_path = directory / SIM_STATE
+    if not state_path.is_file():
+        raise CheckpointError(
+            f"manifest in {directory} has no {SIM_STATE} beside it"
+        )
+    with np.load(state_path) as data:
+        aux = array_to_pickle(data["aux"])
+        return SimSnapshot(
+            next_hour=int(manifest["next_hour"]),
+            spell_start=data["spell_start"],
+            spell_activity=data["spell_activity"],
+            spell_place=data["spell_place"],
+            records=data["records"],
+            writer_offset=int(manifest["writer_offset"]),
+            disease=aux["disease"],
+            observers=aux["observers"],
+        )

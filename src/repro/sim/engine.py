@@ -17,15 +17,23 @@ from pathlib import Path
 
 import numpy as np
 
+from typing import Callable
+
 from ..config import HOURS_PER_WEEK, SimulationConfig
 from ..errors import SimulationError
 from ..evlog.schema import LogRecordArray, empty_records
 from ..evlog.writer import CachedLogWriter
 from ..synthpop.generator import SyntheticPopulation
 from ..synthpop.schedule import WeekGrid, WeeklyScheduleGenerator
+from .checkpoint import (
+    SimSnapshot,
+    load_sim_checkpoint,
+    save_sim_checkpoint,
+    sim_checkpoint_digest,
+)
 from .disease import DiseaseModel
 from .events import OpenSpells, grid_to_events
-from .observers import Observer
+from .observers import Observer, StatefulObserver
 
 __all__ = ["Simulation", "SimulationResult"]
 
@@ -40,6 +48,10 @@ class SimulationResult:
     disease: DiseaseModel | None = None
     log_path: Path | None = None
     observers: list[Observer] = field(default_factory=list)
+    #: hour a resumed run continued from (None: ran from the start)
+    resumed_from_hour: int | None = None
+    #: snapshots committed during the run
+    checkpoints_written: int = 0
 
     def events_per_person_day(self, n_persons: int) -> float:
         days = self.duration_hours / 24.0
@@ -95,28 +107,92 @@ class Simulation:
         observers: list[Observer] | None = None,
         log_path: str | Path | None = None,
         compress_log: bool = False,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
+        fault_hook: Callable[[int], None] | None = None,
     ) -> SimulationResult:
         """Run for ``config.duration_hours``; return events (and write an
-        EVL file when ``log_path`` is given)."""
+        EVL file when ``log_path`` is given).
+
+        Checkpoint/resume
+        -----------------
+        With ``checkpoint_dir`` set and ``config.checkpoint_every_hours``
+        configured, the engine commits a resumable snapshot every N
+        simulated hours: open spells, emitted records, disease and observer
+        state (including RNG position), and the log writer's byte offset,
+        with an atomic manifest as the commit point.  ``resume=True``
+        restores the latest snapshot from ``checkpoint_dir`` — the
+        configuration digest must match — truncates the log file back to
+        the recorded offset, and continues; a resumed run is bit-for-bit
+        identical to an uninterrupted run with the same checkpoint cadence
+        (the cadence matters because each snapshot flushes the log cache,
+        which fixes chunk boundaries).
+
+        ``fault_hook(hour)``, called before each hour is processed, exists
+        for fault-injection tests: raising from it simulates a crash at an
+        exact simulated time.
+        """
         observers = observers or []
         duration = self.config.duration_hours
         n = self.population.n_persons
+        every = self.config.checkpoint_every_hours
+        ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        digest = sim_checkpoint_digest(self.config, with_log=log_path is not None)
+        stateful = [o for o in observers if isinstance(o, StatefulObserver)]
+
+        start_hour = 0
+        snapshot: SimSnapshot | None = None
+        if resume:
+            if ckpt_dir is None:
+                raise SimulationError("resume=True requires checkpoint_dir")
+            snapshot = load_sim_checkpoint(ckpt_dir, digest)
+            start_hour = snapshot.next_hour
+            if self.disease is not None:
+                assert snapshot.disease is not None
+                self.disease.load_state(snapshot.disease)
+            if len(snapshot.observers) != len(stateful):
+                raise SimulationError(
+                    f"snapshot has {len(snapshot.observers)} observer "
+                    f"states, run passes {len(stateful)} stateful observers"
+                )
+            for obs, state in zip(stateful, snapshot.observers):
+                obs.load_state(state)
 
         writer = None
         if log_path is not None:
-            writer = CachedLogWriter(
-                log_path,
-                rank=0,
-                cache_records=self.config.log_cache_records,
-                compress=compress_log,
-            )
+            if snapshot is not None:
+                writer = CachedLogWriter.open_resume(
+                    log_path,
+                    cache_records=self.config.log_cache_records,
+                    durability=self.config.log_durability,
+                    at_offset=snapshot.writer_offset,
+                )
+            else:
+                writer = CachedLogWriter(
+                    log_path,
+                    rank=0,
+                    cache_records=self.config.log_cache_records,
+                    compress=compress_log,
+                    durability=self.config.log_durability,
+                )
 
         all_records: list[LogRecordArray] = []
         spells: OpenSpells | None = None
         week: WeekGrid | None = None
+        checkpoints_written = 0
+        if snapshot is not None:
+            if len(snapshot.records):
+                all_records.append(snapshot.records)
+            spells = OpenSpells(
+                start=snapshot.spell_start.copy(),
+                activity=snapshot.spell_activity.copy(),
+                place=snapshot.spell_place.copy(),
+            )
 
         try:
-            for hour in range(duration):
+            for hour in range(start_hour, duration):
+                if fault_hook is not None:
+                    fault_hook(hour)
                 week_index, hour_of_week = divmod(hour, HOURS_PER_WEEK)
                 if week is None or week.week_index != week_index:
                     week = self.schedules.week(week_index)
@@ -151,6 +227,44 @@ class Simulation:
                         spells.activity[idx] = act_col[idx]
                         spells.place[idx] = place_col[idx]
 
+                if (
+                    ckpt_dir is not None
+                    and every
+                    and (hour + 1) % every == 0
+                    and (hour + 1) < duration
+                    and spells is not None
+                ):
+                    if writer is not None:
+                        # flush so the snapshot offset is a chunk boundary
+                        writer.flush()
+                    merged = (
+                        np.concatenate(all_records)
+                        if len(all_records) != 1
+                        else all_records[0]
+                    ) if all_records else empty_records(0)
+                    all_records = [merged]
+                    save_sim_checkpoint(
+                        ckpt_dir,
+                        digest,
+                        SimSnapshot(
+                            next_hour=hour + 1,
+                            spell_start=spells.start.copy(),
+                            spell_activity=spells.activity.copy(),
+                            spell_place=spells.place.copy(),
+                            records=merged,
+                            writer_offset=(
+                                writer.offset if writer is not None else -1
+                            ),
+                            disease=(
+                                self.disease.state_dict()
+                                if self.disease is not None
+                                else None
+                            ),
+                            observers=[o.state_dict() for o in stateful],
+                        ),
+                    )
+                    checkpoints_written += 1
+
             assert spells is not None
             final = spells.close_all(duration)
             all_records.append(final)
@@ -170,6 +284,8 @@ class Simulation:
             disease=self.disease,
             log_path=Path(log_path) if log_path is not None else None,
             observers=observers,
+            resumed_from_hour=start_hour if resume else None,
+            checkpoints_written=checkpoints_written,
         )
 
     # -- fast path -------------------------------------------------------------
@@ -188,7 +304,10 @@ class Simulation:
         writer = None
         if log_path is not None:
             writer = CachedLogWriter(
-                log_path, rank=0, cache_records=self.config.log_cache_records
+                log_path,
+                rank=0,
+                cache_records=self.config.log_cache_records,
+                durability=self.config.log_durability,
             )
         all_records: list[LogRecordArray] = []
         spells: OpenSpells | None = None

@@ -1,0 +1,177 @@
+"""Kill-based durability tests: a real SIGKILL against a writer process.
+
+The in-process tests in ``test_durability.py`` simulate a crash by
+dropping file handles; this module performs the real experiment the WAL
+exists for — ``SIGKILL`` delivered to a subprocess mid-write, no Python
+cleanup of any kind — and asserts that salvage recovers **every** record
+the child had acknowledged before dying.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.evlog import CachedLogWriter, LogReader, make_records
+from repro.evlog.writer import wal_sidecar_path
+
+#: batches the child writes; the parent kills it partway through
+N_BATCHES = 200
+BATCH = 37  # deliberately coprime with the cache size below
+CACHE = 100
+
+# The child acknowledges progress by appending one line per completed
+# log_batch to a status file, fsynced before the next batch starts — so
+# every count the parent reads was fully acknowledged by the writer.
+_CHILD = """
+import sys
+from pathlib import Path
+from repro.evlog.writer import CachedLogWriter
+from tests.test_crash_child_helper import batch_records
+
+log_path, status_path = sys.argv[1], sys.argv[2]
+w = CachedLogWriter(log_path, rank=9, cache_records={cache}, durability="wal")
+status = open(status_path, "a")
+import os
+for i in range({n_batches}):
+    w.log_batch(batch_records(i))
+    status.write(f"{{(i + 1) * {batch}}}\\n")
+    status.flush()
+    os.fsync(status.fileno())
+"""
+
+
+def _batch(i: int) -> np.ndarray:
+    """Deterministic records for batch *i* (child and parent agree)."""
+    rng = np.random.default_rng(1000 + i)
+    start = rng.integers(0, 100, BATCH).astype(np.uint32)
+    return make_records(
+        start,
+        start + rng.integers(1, 8, BATCH).astype(np.uint32),
+        rng.integers(0, 5000, BATCH),
+        rng.integers(0, 6, BATCH),
+        rng.integers(0, 900, BATCH),
+    )
+
+
+def _expected(n_records: int) -> np.ndarray:
+    full, rem = divmod(n_records, BATCH)
+    parts = [_batch(i) for i in range(full)]
+    if rem:
+        parts.append(_batch(full)[:rem])
+    return np.concatenate(parts) if parts else _batch(0)[:0]
+
+
+@pytest.fixture()
+def child_env(tmp_path):
+    """Subprocess env + helper module exposing the shared batch generator."""
+    helper_dir = tmp_path / "helper" / "tests"
+    helper_dir.mkdir(parents=True)
+    (helper_dir / "__init__.py").write_text("")
+    (helper_dir / "test_crash_child_helper.py").write_text(
+        "import numpy as np\n"
+        "from repro.evlog import make_records\n"
+        f"BATCH = {BATCH}\n"
+        "def batch_records(i):\n"
+        "    rng = np.random.default_rng(1000 + i)\n"
+        "    start = rng.integers(0, 100, BATCH).astype(np.uint32)\n"
+        "    return make_records(start,\n"
+        "        start + rng.integers(1, 8, BATCH).astype(np.uint32),\n"
+        "        rng.integers(0, 5000, BATCH), rng.integers(0, 6, BATCH),\n"
+        "        rng.integers(0, 900, BATCH))\n"
+    )
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [repo_src, str(helper_dir.parent)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+def _run_and_kill(tmp_path, env, min_acked: int) -> tuple[Path, int]:
+    """Start the child, SIGKILL it once it has acknowledged *min_acked*
+    records, and return ``(log_path, acknowledged_count)``."""
+    log_path = tmp_path / "victim.evl"
+    status_path = tmp_path / "status.txt"
+    script = _CHILD.format(cache=CACHE, n_batches=N_BATCHES, batch=BATCH)
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script, str(log_path), str(status_path)],
+        env=env,
+        cwd=str(tmp_path),
+    )
+    try:
+        deadline = time.monotonic() + 60
+        acked = 0
+        while time.monotonic() < deadline:
+            if status_path.is_file():
+                lines = status_path.read_text().splitlines()
+                if lines:
+                    acked = int(lines[-1])
+                    if acked >= min_acked:
+                        break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.0005)
+        else:
+            pytest.fail("child never reached the kill threshold")
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+    # re-read after death: the last fsynced line is the true acknowledgement
+    acked = int(status_path.read_text().splitlines()[-1])
+    return log_path, acked
+
+
+class TestSigkilledWriter:
+    def test_wal_salvage_recovers_every_acknowledged_record(
+        self, tmp_path, child_env
+    ):
+        log_path, acked = _run_and_kill(tmp_path, child_env, min_acked=500)
+        assert acked >= 500
+        assert wal_sidecar_path(log_path).is_file()
+
+        salvaged = CachedLogWriter.open_resume(
+            log_path, cache_records=CACHE, durability="wal"
+        )
+        salvaged.close()
+        got = LogReader(log_path, strict=True).read_all()
+        # every acknowledged record survived the SIGKILL; the child may
+        # have written more after its last status fsync (including a
+        # partially journaled batch), never fewer — and what survives is
+        # an exact prefix of the record stream
+        assert len(got) >= acked
+        assert np.array_equal(got, _expected(len(got)))
+
+    def test_reopen_append_roundtrips_through_reader(
+        self, tmp_path, child_env
+    ):
+        log_path, acked = _run_and_kill(tmp_path, child_env, min_acked=300)
+
+        w = CachedLogWriter.open_resume(
+            log_path, cache_records=CACHE, durability="wal"
+        )
+        recovered = w.stats.records
+        extra = _batch(9999)
+        w.log_batch(extra)
+        w.close()
+        assert not wal_sidecar_path(log_path).is_file()
+
+        reader = LogReader(log_path, strict=True)
+        assert not reader.recovered
+        assert reader.rank == 9
+        got = reader.read_all()
+        assert len(got) == recovered + len(extra)
+        assert np.array_equal(got[:recovered], _expected(recovered))
+        assert np.array_equal(got[recovered:], extra)

@@ -117,13 +117,15 @@ class TestFileSize:
 
 
 class TestErrorPath:
-    def test_exception_leaves_recoverable_file(self, tmp_path, random_records):
+    def test_exception_flushes_and_finalizes_file(self, tmp_path, random_records):
         path = tmp_path / "t.evl"
         with pytest.raises(RuntimeError):
             with CachedLogWriter(path, cache_records=100) as w:
                 w.log_batch(random_records[:250])
                 raise RuntimeError("simulated crash")
-        r = LogReader(path)
-        assert r.recovered
-        # two full cache flushes (200 records) survive; the partial 50 die
-        assert r.n_records == 200
+        # __exit__ best-effort flushes the partial cache and writes the
+        # index/trailer: all 250 records survive, and the file is cleanly
+        # closed rather than merely recoverable
+        r = LogReader(path, strict=True)
+        assert not r.recovered
+        assert r.n_records == 250

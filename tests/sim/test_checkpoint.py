@@ -1,0 +1,186 @@
+"""Simulation checkpoint/resume: atomic commit and bit-for-bit replay."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.config import DiseaseConfig, ScaleConfig, SimulationConfig
+from repro.errors import CheckpointError, SimulationError
+from repro.sim import MovementObserver, PrevalenceObserver, Simulation
+from repro.sim.checkpoint import (
+    SIM_MANIFEST,
+    SIM_STATE,
+    SimSnapshot,
+    load_sim_checkpoint,
+    save_sim_checkpoint,
+    sim_checkpoint_digest,
+)
+from repro.synthpop import generate_population
+
+SCALE = ScaleConfig(n_persons=250, seed=77)
+HOURS = 48
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return generate_population(SCALE)
+
+
+def _config(**overrides):
+    defaults = dict(
+        scale=SCALE,
+        duration_hours=HOURS,
+        disease=DiseaseConfig(initial_infected=4),
+        checkpoint_every_hours=10,
+        log_durability="wal",
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class Boom(Exception):
+    pass
+
+
+def _kill_at(hour_to_die: int):
+    def hook(hour: int) -> None:
+        if hour == hour_to_die:
+            raise Boom(f"injected crash at hour {hour}")
+
+    return hook
+
+
+class TestSnapshotStore:
+    def _snapshot(self):
+        return SimSnapshot(
+            next_hour=12,
+            spell_start=np.arange(5, dtype=np.int64),
+            spell_activity=np.ones(5, dtype=np.uint32),
+            spell_place=np.arange(5, dtype=np.uint32),
+            records=np.empty(0, dtype=np.uint32),
+            writer_offset=-1,
+            disease=None,
+            observers=[{"hours": [1, 2]}],
+        )
+
+    def test_roundtrip(self, tmp_path):
+        save_sim_checkpoint(tmp_path, "d1", self._snapshot())
+        snap = load_sim_checkpoint(tmp_path, "d1")
+        assert snap.next_hour == 12
+        assert snap.spell_start.tolist() == list(range(5))
+        assert snap.observers == [{"hours": [1, 2]}]
+
+    def test_digest_mismatch_refused(self, tmp_path):
+        save_sim_checkpoint(tmp_path, "d1", self._snapshot())
+        with pytest.raises(CheckpointError, match="different"):
+            load_sim_checkpoint(tmp_path, "d2")
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CheckpointError, match="manifest"):
+            load_sim_checkpoint(tmp_path, "d1")
+
+    def test_manifest_without_state(self, tmp_path):
+        save_sim_checkpoint(tmp_path, "d1", self._snapshot())
+        (tmp_path / SIM_STATE).unlink()
+        with pytest.raises(CheckpointError, match=SIM_STATE):
+            load_sim_checkpoint(tmp_path, "d1")
+
+    def test_corrupt_manifest(self, tmp_path):
+        save_sim_checkpoint(tmp_path, "d1", self._snapshot())
+        (tmp_path / SIM_MANIFEST).write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_sim_checkpoint(tmp_path, "d1")
+
+    def test_digest_covers_config_and_log(self):
+        a = sim_checkpoint_digest(_config(), with_log=True)
+        b = sim_checkpoint_digest(_config(), with_log=False)
+        c = sim_checkpoint_digest(
+            _config(checkpoint_every_hours=11), with_log=True
+        )
+        assert len({a, b, c}) == 3
+
+
+class TestResumeEquivalence:
+    def test_bit_for_bit_resume(self, pop, tmp_path):
+        obs_a = [PrevalenceObserver(), MovementObserver()]
+        res_a = Simulation(pop, _config()).run(
+            observers=obs_a,
+            log_path=tmp_path / "a.evl",
+            checkpoint_dir=tmp_path / "ck_a",
+        )
+        assert res_a.checkpoints_written == 4
+        assert res_a.resumed_from_hour is None
+
+        obs_b = [PrevalenceObserver(), MovementObserver()]
+        with pytest.raises(Boom):
+            Simulation(pop, _config()).run(
+                observers=obs_b,
+                log_path=tmp_path / "b.evl",
+                checkpoint_dir=tmp_path / "ck_b",
+                fault_hook=_kill_at(33),
+            )
+
+        obs_c = [PrevalenceObserver(), MovementObserver()]
+        res_c = Simulation(pop, _config()).run(
+            observers=obs_c,
+            log_path=tmp_path / "b.evl",
+            checkpoint_dir=tmp_path / "ck_b",
+            resume=True,
+        )
+        assert res_c.resumed_from_hour == 30
+
+        assert np.array_equal(res_a.records, res_c.records)
+        ha = hashlib.sha256((tmp_path / "a.evl").read_bytes()).hexdigest()
+        hb = hashlib.sha256((tmp_path / "b.evl").read_bytes()).hexdigest()
+        assert ha == hb  # identical log bytes, not just identical events
+        assert obs_a[0].state_dict() == obs_c[0].state_dict()
+        assert obs_a[1].moves_per_hour == obs_c[1].moves_per_hour
+        assert res_a.disease is not None and res_c.disease is not None
+        assert res_a.disease.transmissions == res_c.disease.transmissions
+
+    def test_resume_without_log(self, pop, tmp_path):
+        res_a = Simulation(pop, _config()).run(
+            checkpoint_dir=tmp_path / "ck_a"
+        )
+        with pytest.raises(Boom):
+            Simulation(pop, _config()).run(
+                checkpoint_dir=tmp_path / "ck_b", fault_hook=_kill_at(25)
+            )
+        res_c = Simulation(pop, _config()).run(
+            checkpoint_dir=tmp_path / "ck_b", resume=True
+        )
+        assert np.array_equal(res_a.records, res_c.records)
+
+    def test_no_checkpoints_without_dir(self, pop):
+        result = Simulation(pop, _config()).run()
+        assert result.checkpoints_written == 0
+
+    def test_resume_requires_checkpoint_dir(self, pop):
+        with pytest.raises(SimulationError, match="checkpoint_dir"):
+            Simulation(pop, _config()).run(resume=True)
+
+    def test_resume_rejects_changed_config(self, pop, tmp_path):
+        with pytest.raises(Boom):
+            Simulation(pop, _config()).run(
+                checkpoint_dir=tmp_path / "ck", fault_hook=_kill_at(25)
+            )
+        changed = _config(disease=DiseaseConfig(initial_infected=5))
+        with pytest.raises(CheckpointError, match="different"):
+            Simulation(pop, changed).run(
+                checkpoint_dir=tmp_path / "ck", resume=True
+            )
+
+    def test_resume_rejects_missing_observers(self, pop, tmp_path):
+        with pytest.raises(Boom):
+            Simulation(pop, _config()).run(
+                observers=[PrevalenceObserver()],
+                checkpoint_dir=tmp_path / "ck",
+                fault_hook=_kill_at(25),
+            )
+        with pytest.raises(SimulationError, match="observer"):
+            Simulation(pop, _config()).run(
+                checkpoint_dir=tmp_path / "ck", resume=True
+            )
