@@ -1,0 +1,213 @@
+"""BENCH-KERNELS — interval kernel vs dense-hours, value vs zero-copy.
+
+Reproduces the ``bench_txt_fourweek`` configuration (8 ranks, 4 simulated
+weeks, bench-scale population, batches of 2) and synthesizes the **full
+4-week window** under three pipeline configurations:
+
+* ``dense-hours`` kernel, by-value dispatch — the seed baseline;
+* ``intervals`` kernel, by-value dispatch;
+* ``intervals`` kernel, zero-copy dispatch (byte-range descriptors).
+
+Emits ``BENCH_synthesis.json`` (records/s, per-stage timings, speedups,
+root→worker bytes shipped) and — with ``--check`` — fails if the interval
+kernel's measured speedup over the in-run dense baseline regresses more
+than 20% against the committed baseline.  The gate compares *speedup
+ratios*, not absolute throughput: both kernels run on the same machine in
+the same process, so the ratio is stable across hardware while absolute
+records/s are not.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_synthesis_kernels.py            # print
+    PYTHONPATH=src python benchmarks/bench_synthesis_kernels.py --update  # rewrite baseline
+    PYTHONPATH=src python benchmarks/bench_synthesis_kernels.py --check   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.distrib import DistributedSimulation, SerialPool, spatial_partition
+from repro.evlog import LogSet
+from repro.sim import Simulation  # noqa: F401  (parity with sibling benches)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_synthesis.json"
+
+BENCH_PERSONS = 6_000
+SEED = 2017
+N_RANKS = 8
+WEEKS = 4
+BATCH_SIZE = 2
+REGRESSION_MARGIN = 0.20  # fail --check below 80% of baseline speedup
+REPEATS = 3  # best-of, to shed cold-cache noise
+
+CONFIGS = [
+    ("dense-hours", "value"),
+    ("intervals", "value"),
+    ("intervals", "zero-copy"),
+]
+
+
+def generate_logs(log_dir: Path):
+    pop = repro.generate_population(
+        repro.ScaleConfig(n_persons=BENCH_PERSONS, seed=SEED)
+    )
+    cfg = repro.SimulationConfig(
+        scale=pop.scale,
+        duration_hours=WEEKS * repro.HOURS_PER_WEEK,
+        n_ranks=N_RANKS,
+    )
+    part = spatial_partition(
+        pop.places.coords(), pop.places.capacity.astype(float), N_RANKS
+    )
+    DistributedSimulation(pop, cfg, part).run(log_dir=log_dir)
+    return pop, LogSet(log_dir)
+
+
+def time_config(logs, n_persons, t0, t1, kernel, dispatch):
+    best = None
+    for _ in range(REPEATS):
+        pool = SerialPool()
+        pool.track_bytes = True
+        try:
+            tic = time.perf_counter()
+            net, report = repro.synthesize_from_logs(
+                logs, n_persons, t0, t1,
+                batch_size=BATCH_SIZE, pool=pool,
+                kernel=kernel, dispatch=dispatch,
+            )
+            elapsed = time.perf_counter() - tic
+        finally:
+            pool.close()
+        if best is None or elapsed < best["seconds"]:
+            best = {
+                "seconds": elapsed,
+                "records_per_s": report.n_records / elapsed,
+                "stages": {
+                    k: round(v, 4) for k, v in report.timings.stages.items()
+                },
+                "bytes_shipped": pool.bytes_shipped,
+                "n_records": report.n_records,
+                "network": net,
+            }
+    return best
+
+
+def run_bench() -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench_kernels_") as tmp:
+        log_dir = Path(tmp)
+        pop, logs = generate_logs(log_dir)
+        t0, t1 = 0, WEEKS * repro.HOURS_PER_WEEK
+
+        results = {}
+        for kernel, dispatch in CONFIGS:
+            results[f"{kernel}/{dispatch}"] = time_config(
+                logs, pop.n_persons, t0, t1, kernel, dispatch
+            )
+
+    base = results["dense-hours/value"]
+    nets = [r.pop("network") for r in results.values()]
+    identical = all(
+        (nets[0].adjacency != n.adjacency).nnz == 0 for n in nets[1:]
+    )
+    for name, r in results.items():
+        r["speedup"] = round(base["seconds"] / r["seconds"], 3)
+        r["seconds"] = round(r["seconds"], 4)
+        r["records_per_s"] = round(r["records_per_s"], 1)
+
+    return {
+        "bench": "synthesis_kernels",
+        "config": {
+            "persons": BENCH_PERSONS,
+            "seed": SEED,
+            "ranks": N_RANKS,
+            "weeks": WEEKS,
+            "window": [0, WEEKS * repro.HOURS_PER_WEEK],
+            "batch_size": BATCH_SIZE,
+            "records": base["n_records"],
+        },
+        "kernels": results,
+        "dispatch_bytes": {
+            "value": results["intervals/value"]["bytes_shipped"],
+            "zero-copy": results["intervals/zero-copy"]["bytes_shipped"],
+            "reduction": round(
+                1
+                - results["intervals/zero-copy"]["bytes_shipped"]
+                / results["intervals/value"]["bytes_shipped"],
+                4,
+            ),
+        },
+        "outputs_bit_identical": identical,
+    }
+
+
+def check_regression(measured: dict, baseline: dict) -> list[str]:
+    failures = []
+    if not measured["outputs_bit_identical"]:
+        failures.append("kernel outputs are no longer bit-identical")
+    for name in ("intervals/value", "intervals/zero-copy"):
+        base_speedup = baseline["kernels"][name]["speedup"]
+        got = measured["kernels"][name]["speedup"]
+        floor = base_speedup * (1 - REGRESSION_MARGIN)
+        if got < floor:
+            failures.append(
+                f"{name}: speedup {got:.2f}x < {floor:.2f}x "
+                f"(baseline {base_speedup:.2f}x - {REGRESSION_MARGIN:.0%})"
+            )
+    base_red = baseline["dispatch_bytes"]["reduction"]
+    got_red = measured["dispatch_bytes"]["reduction"]
+    if got_red < base_red * (1 - REGRESSION_MARGIN):
+        failures.append(
+            f"zero-copy byte reduction {got_red:.2%} regressed vs "
+            f"baseline {base_red:.2%}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--update", action="store_true",
+        help=f"rewrite the committed baseline {BASELINE_PATH.name}",
+    )
+    mode.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) if the interval kernel regressed >20%% "
+        "against the committed baseline",
+    )
+    args = parser.parse_args(argv)
+
+    measured = run_bench()
+    print(json.dumps(measured, indent=2))
+
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"\nbaseline written to {BASELINE_PATH}")
+        return 0
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print(f"\nno committed baseline at {BASELINE_PATH}", file=sys.stderr)
+            return 1
+        baseline = json.loads(BASELINE_PATH.read_text())
+        failures = check_regression(measured, baseline)
+        if failures:
+            print("\nREGRESSION:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("\nno regression vs committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

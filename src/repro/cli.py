@@ -160,6 +160,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             strict=args.strict,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            kernel=args.kernel,
+            dispatch=args.dispatch,
         )
     finally:
         if pool is not None:
@@ -313,6 +315,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--retry-delay", type=float, default=0.05,
         help="base backoff before the first retry, seconds",
+    )
+    p.add_argument(
+        "--kernel", choices=["intervals", "dense-hours"], default="intervals",
+        help="collocation kernel: interval-overlap (default, window-length "
+        "independent) or the paper's per-hour expansion; outputs are "
+        "bit-identical",
+    )
+    p.add_argument(
+        "--dispatch", choices=["value", "zero-copy"], default="value",
+        help="how records reach workers: pickled arrays (value) or mmap "
+        "byte-range descriptors (zero-copy)",
     )
     p.add_argument(
         "--strict", action="store_true",

@@ -24,7 +24,13 @@ From event-log records to a person collocation network (paper Section IV):
 
 from .slicing import slice_records, clip_records, unique_places
 from .colloc import CollocationMatrix, build_collocation_matrices, collocation_matrix_for_place
-from .balance import balance_by_nnz, BalanceReport
+from .intervals import (
+    IntervalPack,
+    build_interval_pack,
+    interval_pack_for_place,
+    sum_pack_adjacency,
+)
+from .balance import balance_by_nnz, balance_by_work, BalanceReport
 from .adjacency import place_adjacency, accumulate_adjacency, triu_symmetrize
 from .network import CollocationNetwork
 from .pipeline import (
@@ -49,7 +55,12 @@ __all__ = [
     "CollocationMatrix",
     "build_collocation_matrices",
     "collocation_matrix_for_place",
+    "IntervalPack",
+    "build_interval_pack",
+    "interval_pack_for_place",
+    "sum_pack_adjacency",
     "balance_by_nnz",
+    "balance_by_work",
     "BalanceReport",
     "place_adjacency",
     "accumulate_adjacency",

@@ -43,12 +43,18 @@ def place_adjacency(colloc: CollocationMatrix, n_persons: int) -> sp.coo_matrix:
     if colloc.persons.size and int(colloc.persons.max()) >= n_persons:
         raise SynthesisError("collocation matrix references person outside population")
     x = colloc.matrix
+    # The full symmetric product is unavoidable: scipy's csr_matmat has no
+    # triangular-only mode (cf. its `tril`/`triu`, which filter *after* the
+    # product), so the lower half is computed either way.  What we can
+    # avoid is touching it again afterwards: mask in local coordinates
+    # first, then gather global ids for the surviving (upper) half only —
+    # local persons are sorted ascending, so local row < col iff global
+    # row < col.
     local = (x @ x.T).tocoo()  # local person × local person, hour counts
-    rows = colloc.persons[local.row].astype(np.int64)
-    cols = colloc.persons[local.col].astype(np.int64)
-    keep = rows < cols
+    keep = local.row < local.col
+    g = colloc.persons.astype(np.int64)
     return sp.coo_matrix(
-        (local.data[keep].astype(np.int64), (rows[keep], cols[keep])),
+        (local.data[keep].astype(np.int64), (g[local.row[keep]], g[local.col[keep]])),
         shape=(n_persons, n_persons),
     )
 
@@ -74,8 +80,10 @@ def accumulate_adjacency(
         coo = part.tocoo()
         if len(coo.data) == 0:
             continue
-        if int(coo.row.max()) >= n_persons or int(coo.col.max()) >= n_persons:
-            raise SynthesisError("adjacency entry outside population")
+        # scipy guarantees coordinates within shape, so a shape check
+        # bounds every entry without rescanning the index arrays
+        if coo.shape != (n_persons, n_persons):
+            raise SynthesisError("adjacency part shaped outside population")
         row_parts.append(coo.row.astype(np.int64))
         col_parts.append(coo.col.astype(np.int64))
         data_parts.append(coo.data.astype(np.int64))

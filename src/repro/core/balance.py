@@ -25,7 +25,7 @@ import numpy as np
 
 from ..errors import PartitionError
 
-__all__ = ["BalanceReport", "balance_by_nnz", "lpt_partition"]
+__all__ = ["BalanceReport", "balance_by_nnz", "balance_by_work", "lpt_partition"]
 
 T = TypeVar("T")
 
@@ -100,3 +100,22 @@ def balance_by_nnz(
     buckets, report = lpt_partition(weights, n_workers)
     grouped = [[matrices[i] for i in bucket] for bucket in buckets]
     return grouped, report
+
+
+def balance_by_work(
+    matrices: Sequence[T], n_workers: int
+) -> tuple[list[list[T]], BalanceReport]:
+    """Partition by estimated pairwise-product work instead of presence nnz.
+
+    ``x·xᵀ`` costs ``Σ_h c_h²`` index pairs (``c_h`` = persons present in
+    column *h*), so presence nnz under-weights crowded places: a place with
+    1000 persons for one hour has the same nnz as 1000 places with one
+    loner each, but 10⁶× the product work.  Items must expose ``.work``
+    (both :class:`~repro.core.colloc.CollocationMatrix` and
+    :class:`~repro.core.intervals.IntervalPack` do).
+    """
+    return balance_by_nnz(
+        matrices,
+        n_workers,
+        nnz=[int(m.work) for m in matrices],  # type: ignore[attr-defined]
+    )

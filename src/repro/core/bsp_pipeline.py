@@ -39,8 +39,9 @@ from ..evlog.schema import LogRecordArray
 from .adjacency import accumulate_adjacency, sum_adjacency_list
 from .balance import lpt_partition
 from .colloc import CollocationMatrix, collocation_matrix_for_place
+from .intervals import interval_pack_for_place, sum_pack_adjacency
 from .network import CollocationNetwork
-from .pipeline import _chunk_groups
+from .pipeline import _check_kernel, _chunk_groups
 from .slicing import records_by_place, slice_records
 
 __all__ = [
@@ -71,12 +72,21 @@ def synthesize_network_bsp(
     t0: int,
     t1: int,
     n_ranks: int,
+    kernel: str = "intervals",
 ) -> BspSynthesisResult:
-    """Synthesize the collocation network on a simulated MPI cluster."""
+    """Synthesize the collocation network on a simulated MPI cluster.
+
+    ``kernel`` selects the collocation unit each rank builds in stage 2 —
+    per-place interval packs (default) or per-place dense-hour matrices —
+    and the matching stage-3 balancing weight (pairwise work / presence
+    nnz).  Output is bit-identical across kernels and to the task-pool
+    pipeline.
+    """
     if n_persons <= 0:
         raise SynthesisError("n_persons must be positive")
     if n_ranks < 1:
         raise SynthesisError("need at least one rank")
+    _check_kernel(kernel)
 
     def rank_fn(comm: Communicator):
         rank = comm.rank
@@ -97,14 +107,20 @@ def synthesize_network_bsp(
         if my_groups is None:
             my_groups = []
 
-        # --- stage 2: local collocation matrices --------------------------
-        matrices: list[CollocationMatrix] = [
-            collocation_matrix_for_place(place, recs, t0, t1)
-            for place, recs in my_groups
-        ]
+        # --- stage 2: local collocation units ------------------------------
+        if kernel == "intervals":
+            matrices = [
+                interval_pack_for_place(place, recs, t0, t1)
+                for place, recs in my_groups
+            ]
+        else:
+            matrices = [
+                collocation_matrix_for_place(place, recs, t0, t1)
+                for place, recs in my_groups
+            ]
 
-        # --- stage 3: nnz-balanced redistribution -------------------------
-        local_nnz = np.array([m.nnz for m in matrices], dtype=np.int64)
+        # --- stage 3: work-balanced redistribution -------------------------
+        local_nnz = np.array([m.work for m in matrices], dtype=np.int64)
         all_nnz = comm.allgather(local_nnz)
         owners = np.concatenate(
             [np.full(len(v), r, dtype=np.int64) for r, v in enumerate(all_nnz)]
@@ -125,7 +141,7 @@ def synthesize_network_bsp(
         )
         my_lo, my_hi = offsets[rank], offsets[rank + 1]
         moved = int(np.count_nonzero(dest[my_lo:my_hi] != rank))
-        payloads: list[list[CollocationMatrix] | None] = [None] * comm.size
+        payloads: list[list | None] = [None] * comm.size
         for r in range(comm.size):
             ship = [
                 matrices[g - my_lo]
@@ -134,13 +150,16 @@ def synthesize_network_bsp(
             ]
             payloads[r] = ship if ship else None
         received = comm.alltoall(payloads)
-        my_share: list[CollocationMatrix] = []
+        my_share: list = []
         for part in received:
             if part:
                 my_share.extend(part)
 
         # --- stage 4: adjacency + reduction --------------------------------
-        partial = sum_adjacency_list(my_share, n_persons)
+        if kernel == "intervals":
+            partial = sum_pack_adjacency(my_share, n_persons)
+        else:
+            partial = sum_adjacency_list(my_share, n_persons)
         total = comm.reduce_with(partial, lambda a, b: a + b, root=0)
         return total, len(matrices), moved
 
@@ -169,6 +188,7 @@ def synthesize_from_logs_bsp(
     n_ranks: int,
     batch_size: int = 16,
     strict: bool = False,
+    kernel: str = "intervals",
 ) -> BspSynthesisResult:
     """Batched from-logs synthesis on the simulated MPI cluster.
 
@@ -202,7 +222,9 @@ def synthesize_from_logs_bsp(
         if not parts:
             continue
         records = np.concatenate(parts) if len(parts) > 1 else parts[0]
-        result = synthesize_network_bsp(records, n_persons, t0, t1, n_ranks)
+        result = synthesize_network_bsp(
+            records, n_persons, t0, t1, n_ranks, kernel=kernel
+        )
         network = (
             result.network if network is None else network + result.network
         )

@@ -29,6 +29,7 @@ __all__ = [
     "CollocationMatrix",
     "collocation_matrix_for_place",
     "build_collocation_matrices",
+    "merge_collocations",
 ]
 
 
@@ -57,8 +58,26 @@ class CollocationMatrix:
 
     @property
     def nnz(self) -> int:
-        """Person-hours of presence — the load-balancing weight."""
+        """Person-hours of presence."""
         return int(self.matrix.nnz)
+
+    @property
+    def person_hours(self) -> int:
+        """Alias of :attr:`nnz` under its physical meaning — shared
+        vocabulary with :class:`~repro.core.intervals.IntervalPack`."""
+        return int(self.matrix.nnz)
+
+    @property
+    def work(self) -> int:
+        """Estimated pairwise-product work: ``sum(per-hour presence²)``.
+
+        ``x·xᵀ`` touches ``c_h²`` index pairs for each hour column with
+        ``c_h`` present persons, so this — not presence nnz — is what LPT
+        balancing should equalize across workers.
+        """
+        counts = np.bincount(self.matrix.indices, minlength=self.matrix.shape[1])
+        counts = counts.astype(np.int64)
+        return int((counts * counts).sum())
 
     @property
     def n_persons(self) -> int:
@@ -118,6 +137,43 @@ def collocation_matrix_for_place(
     x.data[:] = 1
     return CollocationMatrix(
         place=int(place), persons=unique_persons, matrix=x, t0=t0, t1=t1
+    )
+
+
+def merge_collocations(mats: list[CollocationMatrix]) -> CollocationMatrix:
+    """Union-merge matrices for the *same* place and window.
+
+    Used by zero-copy dispatch when one place's records were split across
+    per-file tasks: presence is binary, so the union of the partial
+    matrices is bit-for-bit what a single build from the concatenated
+    records would produce.
+    """
+    if not mats:
+        raise SynthesisError("cannot merge zero collocation matrices")
+    if len(mats) == 1:
+        return mats[0]
+    first = mats[0]
+    if any(
+        m.place != first.place or m.t0 != first.t0 or m.t1 != first.t1
+        for m in mats
+    ):
+        raise SynthesisError("cannot merge collocation matrices across places/windows")
+    persons = np.unique(np.concatenate([m.persons for m in mats]))
+    rows, cols = [], []
+    for m in mats:
+        coo = m.matrix.tocoo()
+        rows.append(np.searchsorted(persons, m.persons)[coo.row])
+        cols.append(coo.col)
+    x = sp.coo_matrix(
+        (
+            np.ones(sum(len(r) for r in rows), dtype=np.uint32),
+            (np.concatenate(rows), np.concatenate(cols)),
+        ),
+        shape=(len(persons), first.t1 - first.t0),
+    ).tocsr()
+    x.data[:] = 1
+    return CollocationMatrix(
+        place=first.place, persons=persons, matrix=x, t0=first.t0, t1=first.t1
     )
 
 

@@ -45,6 +45,7 @@ def synthesize_layers(
     t0: int,
     t1: int,
     pool: WorkerPool | None = None,
+    kernel: str = "intervals",
 ) -> dict[str, CollocationNetwork]:
     """One collocation network per place kind, over the same window.
 
@@ -63,6 +64,8 @@ def synthesize_layers(
                 empty_adjacency(n_persons), t0=t0, t1=t1
             )
             continue
-        net, _ = synthesize_network(subset, n_persons, t0, t1, pool=pool)
+        net, _ = synthesize_network(
+            subset, n_persons, t0, t1, pool=pool, kernel=kernel
+        )
         layers[kind.name.lower()] = net
     return layers

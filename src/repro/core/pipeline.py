@@ -40,14 +40,27 @@ import numpy as np
 
 from .._util import StageTimings, atomic_write_bytes
 from ..errors import CheckpointError, SynthesisError
-from ..evlog.multifile import LogSet, try_read_time_slice
+from ..evlog.multifile import LogSet, try_read_time_slice, try_slice_descriptor
+from ..evlog.reader import LogReader, SliceDescriptor, read_slice_descriptor
 from ..evlog.schema import LogRecordArray
 from ..distrib.taskpool import SerialPool, WorkerPool
 from .adjacency import accumulate_adjacency, sum_adjacency_list
-from .balance import BalanceReport, balance_by_nnz
-from .colloc import CollocationMatrix, collocation_matrix_for_place
+from .balance import BalanceReport, balance_by_work, lpt_partition
+from .colloc import (
+    CollocationMatrix,
+    build_collocation_matrices,
+    collocation_matrix_for_place,
+    merge_collocations,
+)
+from .intervals import (
+    IntervalPack,
+    build_interval_pack,
+    merge_packs,
+    select_pack_places,
+    sum_pack_adjacency,
+)
 from .network import CollocationNetwork
-from .slicing import records_by_place, slice_records
+from .slicing import clip_records, records_by_place, slice_records
 
 __all__ = [
     "SynthesisReport",
@@ -58,11 +71,38 @@ __all__ = [
     "load_checkpoint_manifest",
     "CHECKPOINT_MANIFEST",
     "CHECKPOINT_PARTIAL",
+    "KERNELS",
+    "DISPATCHES",
 ]
 
 CHECKPOINT_MANIFEST = "manifest.json"
 CHECKPOINT_PARTIAL = "partial.npz"
 _CHECKPOINT_VERSION = 1
+
+#: collocation kernels: the legacy per-hour expansion and the
+#: interval-overlap default.  Both produce bit-identical networks; the
+#: kernel (like the dispatch mode) is deliberately *excluded* from the
+#: checkpoint digest so a run may resume under either.
+KERNELS = ("dense-hours", "intervals")
+DEFAULT_KERNEL = "intervals"
+
+#: how record data reaches stage-2 workers: ``value`` pickles record
+#: arrays (legacy), ``zero-copy`` ships :class:`SliceDescriptor` byte
+#: ranges and workers mmap the EVL files themselves.
+DISPATCHES = ("value", "zero-copy")
+DEFAULT_DISPATCH = "value"
+
+
+def _check_kernel(kernel: str) -> None:
+    if kernel not in KERNELS:
+        raise SynthesisError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
+
+
+def _check_dispatch(dispatch: str) -> None:
+    if dispatch not in DISPATCHES:
+        raise SynthesisError(
+            f"unknown dispatch {dispatch!r}; choose from {DISPATCHES}"
+        )
 
 
 @dataclass
@@ -74,6 +114,8 @@ class SynthesisReport:
     n_places: int = 0
     n_workers: int = 1
     colloc_nnz_total: int = 0
+    #: for batched runs, the *worst-case* batch balance (highest
+    #: max/mean imbalance), not the last batch's
     balance: BalanceReport | None = None
     timings: StageTimings = field(default_factory=StageTimings)
     batches: int = 1
@@ -85,14 +127,20 @@ class SynthesisReport:
     skipped_records: int = 0
     #: batches restored from a checkpoint rather than recomputed
     resumed_batches: int = 0
+    #: collocation kernel the run used
+    kernel: str = DEFAULT_KERNEL
+    #: how record data reached stage-2 workers
+    dispatch: str = DEFAULT_DISPATCH
 
     def summary(self) -> str:
         lines = [
+            f"kernel           {self.kernel:>12}",
+            f"dispatch         {self.dispatch:>12}",
             f"records          {self.n_records:>12,}",
             f"in slice         {self.n_sliced_records:>12,}",
             f"places           {self.n_places:>12,}",
             f"workers          {self.n_workers:>12,}",
-            f"presence nnz     {self.colloc_nnz_total:>12,}",
+            f"person-hours     {self.colloc_nnz_total:>12,}",
             f"batches          {self.batches:>12,}",
         ]
         if self.balance is not None:
@@ -129,6 +177,152 @@ def _adjacency_task(
     """Stage-4 worker: sum ``x·xᵀ`` over its balanced matrix share."""
     matrices, n_persons = chunk
     return sum_adjacency_list(matrices, n_persons)
+
+
+def _pack_task(chunk: tuple[LogRecordArray, int, int]) -> IntervalPack:
+    """Stage-2 worker (interval kernel): one pack per place-disjoint slab."""
+    records, t0, t1 = chunk
+    return build_interval_pack(records, t0, t1)
+
+
+def _pack_adjacency_task(chunk: "tuple[list[IntervalPack], int]"):
+    """Stage-4 worker (interval kernel): stacked weighted product over the
+    balanced place share."""
+    packs, n_persons = chunk
+    return sum_pack_adjacency(packs, n_persons)
+
+
+def _descriptor_task(args: tuple[SliceDescriptor, str]):
+    """Stage-2 worker under zero-copy dispatch: mmap + decode + build.
+
+    Receives only a byte-range descriptor; reads the slice itself, clips
+    it, and builds the kernel's per-file unit.  Returns ``(payload,
+    n_records)`` where payload is an :class:`IntervalPack` (or None for an
+    empty slice) or a list of :class:`CollocationMatrix`.
+    """
+    descriptor, kernel = args
+    raw = read_slice_descriptor(descriptor)
+    # descriptor materialization already applied the window mask; only the
+    # interval clip remains to match slice_records() output exactly.
+    sliced = (
+        clip_records(raw, descriptor.t0, descriptor.t1) if len(raw) else raw
+    )
+    if kernel == "intervals":
+        if not len(sliced):
+            return None, len(raw)
+        return build_interval_pack(sliced, descriptor.t0, descriptor.t1), len(raw)
+    if not len(sliced):
+        return [], len(raw)
+    return (
+        build_collocation_matrices(sliced, descriptor.t0, descriptor.t1),
+        len(raw),
+    )
+
+
+def _place_slabs(sliced: LogRecordArray, n_chunks: int) -> list[LogRecordArray]:
+    """Interval-kernel task chunking: sort records by place and cut the
+    sorted array at place boundaries into ~record-balanced contiguous
+    slabs.  Cheaper than materializing per-place groups — one argsort,
+    no per-place view objects — and each slab is place-disjoint, so slab
+    packs never share a place."""
+    if len(sliced) == 0:
+        return []
+    rec = sliced[np.argsort(sliced["place"], kind="stable")]
+    if n_chunks <= 1:
+        return [rec]
+    pl = rec["place"]
+    group_starts = np.flatnonzero(np.concatenate(([True], pl[1:] != pl[:-1])))
+    targets = (np.arange(1, n_chunks) * len(rec)) // n_chunks
+    cut_idx = np.minimum(
+        np.searchsorted(group_starts, targets, side="left"),
+        len(group_starts) - 1,
+    )
+    offsets = np.unique(np.concatenate(([0], group_starts[cut_idx], [len(rec)])))
+    return [rec[a:b] for a, b in zip(offsets[:-1], offsets[1:]) if b > a]
+
+
+def _balance_packs(
+    packs: list[IntervalPack], n_workers: int
+) -> tuple[list[list[IntervalPack]], BalanceReport]:
+    """Stage 3 for the interval kernel.
+
+    The balancing unit is the *place* (as in the legacy pipeline), weighted
+    by estimated pairwise work; each worker's share is delivered as column
+    slices of the source packs, so stage 4 stays one matmul per pack."""
+    packs = [p for p in packs if p is not None and p.n_places]
+    if not packs:
+        _, report = lpt_partition([], n_workers)
+        return [[] for _ in range(n_workers)], report
+    work = np.concatenate([p.place_work for p in packs])
+    pack_of = np.repeat(
+        np.arange(len(packs)), [p.n_places for p in packs]
+    )
+    place_of = np.concatenate([p.places for p in packs])
+    buckets, report = lpt_partition(work, n_workers)
+    shares: list[list[IntervalPack]] = []
+    for bucket in buckets:
+        share: list[IntervalPack] = []
+        if bucket:
+            sel = np.asarray(bucket)
+            for i in np.unique(pack_of[sel]):
+                sub = select_pack_places(
+                    packs[int(i)],
+                    np.sort(place_of[sel[pack_of[sel] == i]]),
+                )
+                if sub is not None:
+                    share.append(sub)
+        shares.append(share)
+    return shares, report
+
+
+def _merge_balance(report: SynthesisReport, balance: BalanceReport | None) -> None:
+    """Keep the worst-case (highest-imbalance) batch balance on the report."""
+    if balance is None:
+        return
+    if report.balance is None or balance.imbalance > report.balance.imbalance:
+        report.balance = balance
+
+
+def _merge_duplicate_packs(packs: list[IntervalPack]) -> list[IntervalPack]:
+    """Zero-copy tasks are per file, so a place whose records span several
+    files arrives in several packs.  Merge exactly those places (union of
+    boundaries and presence — bit-identical to a single build from the
+    concatenated records); disjoint packs pass through untouched, which is
+    the only case for locality-respecting per-rank logs."""
+    packs = [p for p in packs if p is not None]
+    if len(packs) <= 1:
+        return packs
+    uniq, counts = np.unique(
+        np.concatenate([p.places for p in packs]), return_counts=True
+    )
+    dups = uniq[counts > 1]
+    if not len(dups):
+        return packs
+    kept: list[IntervalPack] = []
+    shared: list[IntervalPack] = []
+    for p in packs:
+        sub = select_pack_places(p, dups)
+        if sub is None:
+            kept.append(p)
+            continue
+        shared.append(sub)
+        rest = select_pack_places(p, np.setdiff1d(p.places, dups))
+        if rest is not None:
+            kept.append(rest)
+    kept.append(merge_packs(shared))
+    return kept
+
+
+def _merge_duplicate_colloc(
+    matrices: list[CollocationMatrix],
+) -> list[CollocationMatrix]:
+    """Dense-kernel twin of :func:`_merge_duplicate_packs`."""
+    by_place: dict[int, list[CollocationMatrix]] = {}
+    for m in matrices:
+        by_place.setdefault(m.place, []).append(m)
+    if all(len(v) == 1 for v in by_place.values()):
+        return matrices
+    return [merge_collocations(by_place[p]) for p in sorted(by_place)]
 
 
 def _chunk_groups(
@@ -264,6 +458,7 @@ def synthesize_network(
     t0: int,
     t1: int,
     pool: WorkerPool | None = None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> tuple[CollocationNetwork, SynthesisReport]:
     """Build the collocation network for window ``[t0, t1)`` from records.
 
@@ -277,12 +472,21 @@ def synthesize_network(
         Analysis window in absolute simulation hours.
     pool:
         Worker pool; default :class:`~repro.distrib.taskpool.SerialPool`.
+    kernel:
+        ``"intervals"`` (default) computes collocated hours from
+        ``[start, stop)`` spell overlaps; ``"dense-hours"`` is the paper's
+        per-hour presence expansion.  Both produce bit-identical networks
+        (equivalence-tested); the interval kernel's cost is independent of
+        window length.
     """
     if n_persons <= 0:
         raise SynthesisError("n_persons must be positive")
+    _check_kernel(kernel)
     own_pool = pool is None
     pool = pool or SerialPool()
-    report = SynthesisReport(n_records=len(records), n_workers=pool.n_workers)
+    report = SynthesisReport(
+        n_records=len(records), n_workers=pool.n_workers, kernel=kernel
+    )
     timings = report.timings
     retries_before = _pool_retries(pool)
     try:
@@ -290,28 +494,43 @@ def synthesize_network(
             sliced = slice_records(records, t0, t1)
         report.n_sliced_records = len(sliced)
 
-        with timings.time("group_by_place"):
-            place_ids, groups = records_by_place(sliced)
-            paired = list(zip((int(p) for p in place_ids), groups))
-        report.n_places = len(paired)
-
-        with timings.time("collocation_matrices"):
-            chunks = _chunk_groups(paired, pool.n_workers * 4)
-            results = pool.map(
-                _matrices_task, [(chunk, t0, t1) for chunk in chunks]
-            )
-            matrices = [m for sub in results for m in sub]
-        report.colloc_nnz_total = sum(m.nnz for m in matrices)
-
-        with timings.time("balance"):
-            shares, balance = balance_by_nnz(matrices, pool.n_workers)
-        report.balance = balance
-
-        with timings.time("adjacency"):
-            partials = pool.map(
-                _adjacency_task,
-                [(share, n_persons) for share in shares if share],
-            )
+        if kernel == "intervals":
+            with timings.time("group_by_place"):
+                slabs = _place_slabs(sliced, pool.n_workers * 4)
+            with timings.time("collocation_matrices"):
+                packs = pool.map(
+                    _pack_task, [(slab, t0, t1) for slab in slabs]
+                )
+            report.n_places = sum(p.n_places for p in packs)
+            report.colloc_nnz_total = sum(p.person_hours for p in packs)
+            with timings.time("balance"):
+                shares, balance = _balance_packs(packs, pool.n_workers)
+            report.balance = balance
+            with timings.time("adjacency"):
+                partials = pool.map(
+                    _pack_adjacency_task,
+                    [(share, n_persons) for share in shares if share],
+                )
+        else:
+            with timings.time("group_by_place"):
+                place_ids, groups = records_by_place(sliced)
+                paired = list(zip((int(p) for p in place_ids), groups))
+            report.n_places = len(paired)
+            with timings.time("collocation_matrices"):
+                chunks = _chunk_groups(paired, pool.n_workers * 4)
+                results = pool.map(
+                    _matrices_task, [(chunk, t0, t1) for chunk in chunks]
+                )
+                matrices = [m for sub in results for m in sub]
+            report.colloc_nnz_total = sum(m.nnz for m in matrices)
+            with timings.time("balance"):
+                shares, balance = balance_by_work(matrices, pool.n_workers)
+            report.balance = balance
+            with timings.time("adjacency"):
+                partials = pool.map(
+                    _adjacency_task,
+                    [(share, n_persons) for share in shares if share],
+                )
 
         with timings.time("reduce"):
             adjacency = accumulate_adjacency(partials, n_persons)
@@ -322,27 +541,116 @@ def synthesize_network(
     return CollocationNetwork(adjacency, t0=t0, t1=t1), report
 
 
-def validate_place_locality(log_set: LogSet, batch_size: int) -> bool:
+def validate_place_locality(
+    log_set: LogSet,
+    batch_size: int,
+    t0: int | None = None,
+    t1: int | None = None,
+) -> bool:
     """Check that no place's records span more than one batch.
 
     Returns True when batch-independent processing is exact for this log
     directory (always true for logs written by the distributed model,
     whose ranks own disjoint place sets at any time — and places never
     change owner during a run).
+
+    With a window, only chunks whose time envelope overlaps ``[t0, t1)``
+    are decoded (the records a synthesis over that window would see);
+    memory stays bounded at one chunk, and only the ``place`` column is
+    retained per chunk.
     """
+    windowed = t0 is not None and t1 is not None
     seen: dict[int, int] = {}
     for batch_index, batch in enumerate(log_set.batches(batch_size)):
         places: set[int] = set()
-        from ..evlog.reader import LogReader
-
         for path in batch:
-            rec = LogReader(path).read_all()
-            places.update(int(p) for p in np.unique(rec["place"]))
+            with LogReader(path, use_mmap=True) as reader:
+                for chunk in reader.chunks:
+                    if windowed and not chunk.overlaps(t0, t1):
+                        continue
+                    rec = reader._decode(chunk)
+                    if windowed:
+                        rec = rec[(rec["start"] < t1) & (rec["stop"] > t0)]
+                    places.update(int(p) for p in np.unique(rec["place"]))
         for p in places:
             if p in seen and seen[p] != batch_index:
                 return False
             seen[p] = batch_index
     return True
+
+
+def _synthesize_batch_descriptors(
+    batch: list[Path],
+    n_persons: int,
+    t0: int,
+    t1: int,
+    pool: WorkerPool,
+    kernel: str,
+    strict: bool,
+    report: SynthesisReport,
+) -> CollocationNetwork | None:
+    """One batch under zero-copy dispatch, mutating *report* in place.
+
+    The root never decodes a record: it reads each file's chunk index,
+    CRC-checks the framing (whole file when quarantining, window chunks
+    when strict — mirroring what the by-value path would decode), and
+    ships O(1)-size :class:`SliceDescriptor` tasks.  Workers mmap, decode,
+    and build; places split across files are union-merged at the root so
+    the output is bit-identical to by-value dispatch.
+    """
+    timings = report.timings
+    retries_before = _pool_retries(pool)
+    with timings.time("load"):
+        descriptors: list[SliceDescriptor] = []
+        for path in batch:
+            if strict:
+                with LogReader(path, strict=True, use_mmap=True) as reader:
+                    reader.check_crc(t0, t1)
+                    descriptor = reader.slice_descriptor(t0, t1)
+            else:
+                descriptor, _reason = try_slice_descriptor(path, t0, t1)
+                if descriptor is None:
+                    report.quarantined.append(str(path))
+                    report.skipped_records += _recoverable_records(path)
+                    continue
+            if descriptor.chunk_offsets:
+                descriptors.append(descriptor)
+    if not descriptors:
+        return None
+    with timings.time("collocation_matrices"):
+        results = pool.map(
+            _descriptor_task, [(d, kernel) for d in descriptors]
+        )
+    n_read = sum(n for _payload, n in results)
+    report.n_records += n_read
+    report.n_sliced_records += n_read
+    if kernel == "intervals":
+        with timings.time("merge"):
+            packs = _merge_duplicate_packs([p for p, _n in results])
+        report.n_places += sum(p.n_places for p in packs)
+        report.colloc_nnz_total += sum(p.person_hours for p in packs)
+        with timings.time("balance"):
+            shares, balance = _balance_packs(packs, pool.n_workers)
+        adjacency_task = _pack_adjacency_task
+    else:
+        with timings.time("merge"):
+            matrices = _merge_duplicate_colloc(
+                [m for ms, _n in results for m in ms]
+            )
+        report.n_places += len(matrices)
+        report.colloc_nnz_total += sum(m.nnz for m in matrices)
+        with timings.time("balance"):
+            shares, balance = balance_by_work(matrices, pool.n_workers)
+        adjacency_task = _adjacency_task
+    _merge_balance(report, balance)
+    with timings.time("adjacency"):
+        partials = pool.map(
+            adjacency_task, [(share, n_persons) for share in shares if share]
+        )
+    with timings.time("reduce"):
+        adjacency = accumulate_adjacency(partials, n_persons)
+    report.n_retries += _pool_retries(pool) - retries_before
+    return CollocationNetwork(adjacency, t0=t0, t1=t1)
 
 
 def synthesize_from_logs(
@@ -355,6 +663,8 @@ def synthesize_from_logs(
     strict: bool = False,
     checkpoint: str | Path | None = None,
     resume: str | Path | None = None,
+    kernel: str = DEFAULT_KERNEL,
+    dispatch: str = DEFAULT_DISPATCH,
 ) -> tuple[CollocationNetwork, SynthesisReport]:
     """Synthesize the network from a directory of per-rank EVL files.
 
@@ -364,6 +674,15 @@ def synthesize_from_logs(
 
     Parameters
     ----------
+    kernel:
+        Collocation kernel, see :func:`synthesize_network`.
+    dispatch:
+        ``"value"`` (default) reads and pickles record arrays at the root;
+        ``"zero-copy"`` ships ``(path, chunk byte offsets, window)``
+        descriptors and lets workers mmap the files themselves —
+        root→worker traffic drops from O(records) to O(1) per task.
+        Output is bit-identical either way; checkpoints are compatible
+        across both kernels and both dispatch modes.
     strict:
         When False (default), a damaged log file — truncated by a killed
         writer or failing a chunk CRC — is quarantined: the whole file is
@@ -383,11 +702,15 @@ def synthesize_from_logs(
         is restored; checkpointing continues into the same directory unless
         a different ``checkpoint`` is given.
     """
+    _check_kernel(kernel)
+    _check_dispatch(dispatch)
     log_set = log_dir if isinstance(log_dir, LogSet) else LogSet(log_dir)
     own_pool = pool is None
     pool = pool or SerialPool()
     network: CollocationNetwork | None = None
-    total_report = SynthesisReport(n_workers=pool.n_workers, batches=0)
+    total_report = SynthesisReport(
+        n_workers=pool.n_workers, batches=0, kernel=kernel, dispatch=dispatch
+    )
 
     digest = checkpoint_digest(log_set, n_persons, t0, t1, batch_size)
     checkpoint_dir = Path(checkpoint) if checkpoint is not None else None
@@ -424,10 +747,28 @@ def synthesize_from_logs(
         total_report.resumed_batches = batches_done
 
     try:
-        from ..evlog.reader import LogReader
-
         for batch_index, batch in enumerate(log_set.batches(batch_size)):
             if batch_index < batches_done:
+                continue
+            if dispatch == "zero-copy":
+                batch_net = _synthesize_batch_descriptors(
+                    batch, n_persons, t0, t1, pool, kernel, strict,
+                    total_report,
+                )
+                if batch_net is not None:
+                    network = (
+                        batch_net if network is None else network + batch_net
+                    )
+                total_report.batches += 1
+                if checkpoint_dir is not None:
+                    with total_report.timings.time("checkpoint"):
+                        _write_checkpoint(
+                            checkpoint_dir,
+                            digest,
+                            batch_index + 1,
+                            network,
+                            total_report,
+                        )
                 continue
             parts = []
             with total_report.timings.time("load"):
@@ -449,14 +790,14 @@ def synthesize_from_logs(
                     np.concatenate(parts) if len(parts) > 1 else parts[0]
                 )
                 batch_net, batch_report = synthesize_network(
-                    records, n_persons, t0, t1, pool=pool
+                    records, n_persons, t0, t1, pool=pool, kernel=kernel
                 )
                 network = batch_net if network is None else network + batch_net
                 total_report.n_records += batch_report.n_records
                 total_report.n_sliced_records += batch_report.n_sliced_records
                 total_report.n_places += batch_report.n_places
                 total_report.colloc_nnz_total += batch_report.colloc_nnz_total
-                total_report.balance = batch_report.balance
+                _merge_balance(total_report, batch_report.balance)
                 total_report.n_retries += batch_report.n_retries
                 for name, secs in batch_report.timings.stages.items():
                     total_report.timings.add(name, secs)

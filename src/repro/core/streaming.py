@@ -109,6 +109,8 @@ class StreamingSynthesizer:
         interval_hours: int = HOURS_PER_WEEK,
         batch_size: int = 16,
         pool: WorkerPool | None = None,
+        kernel: str = "intervals",
+        dispatch: str = "value",
     ) -> None:
         if interval_hours <= 0:
             raise SynthesisError("interval_hours must be positive")
@@ -116,6 +118,8 @@ class StreamingSynthesizer:
         self.interval_hours = interval_hours
         self.batch_size = batch_size
         self.pool = pool
+        self.kernel = kernel
+        self.dispatch = dispatch
 
     def process(
         self, log_set: LogSet | str, n_intervals: int
@@ -135,6 +139,8 @@ class StreamingSynthesizer:
                 t1,
                 batch_size=self.batch_size,
                 pool=self.pool,
+                kernel=self.kernel,
+                dispatch=self.dispatch,
             )
             networks.append(net)
         return WeeklyNetworkSeries(

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -225,6 +226,20 @@ class _PoolBase:
         self.report = PoolReport()
         #: attempt counts per task index for the most recent ``map`` call
         self.last_attempts: dict[int, int] = {}
+        #: when True, ``map`` pickles each task item once and accumulates
+        #: the byte count in :attr:`bytes_shipped` — the root→worker
+        #: serialization traffic a process backend pays (measured even on
+        #: in-process backends, so dispatch strategies compare like for
+        #: like).  Off by default: measuring costs a pickle pass.
+        self.track_bytes = False
+        self.bytes_shipped = 0
+
+    def _account_items(self, items: Sequence[Any]) -> None:
+        if self.track_bytes:
+            self.bytes_shipped += sum(
+                len(pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
+                for item in items
+            )
 
     def _finish_with_retries(
         self,
@@ -254,6 +269,7 @@ class SerialPool(_PoolBase):
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         if self._closed:
             raise PartitionError("pool is closed")
+        self._account_items(items)
         if self.retry is None:
             return [fn(item) for item in items]
         caught = _Caught(fn)
@@ -292,6 +308,7 @@ class ThreadPool(_PoolBase):
         return self._n
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        self._account_items(items)
         if self.retry is None:
             return list(self._executor.map(fn, items))
         caught = _Caught(fn)
@@ -349,6 +366,7 @@ class ProcessPool(_PoolBase):
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         if not items:
             return []
+        self._account_items(items)
         chunksize = max(1, len(items) // (self._n * 4))
         if self.retry is None:
             return self._pool.map(fn, items, chunksize=chunksize)

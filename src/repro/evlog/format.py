@@ -43,6 +43,7 @@ __all__ = [
     "unpack_header",
     "pack_chunk",
     "read_chunk_at",
+    "check_chunk_at",
     "pack_index",
     "unpack_index",
     "pack_trailer",
@@ -168,6 +169,27 @@ def read_chunk_at(
             f"payload decodes to {len(image)} bytes"
         )
     return image, n_records, end + payload_bytes
+
+
+def check_chunk_at(buf: bytes | memoryview, offset: int) -> tuple[int, int]:
+    """CRC-verify the chunk at *offset* without decoding its payload.
+
+    Returns ``(n_records, next_offset)``.  This is the cheap integrity
+    check zero-copy dispatch runs at the root: framing + CRC catch
+    truncation and bit rot, while the decompress/decode cost stays with
+    the worker that actually consumes the records.
+    """
+    end = offset + CHUNK_HEADER_BYTES
+    if end > len(buf):
+        raise LogTruncatedError("chunk header extends past end of file")
+    magic, n_records, payload_bytes, crc = _CHUNK_HEADER.unpack_from(buf, offset)
+    if magic != CHUNK_MAGIC:
+        raise LogFormatError(f"expected chunk at offset {offset}, found {magic!r}")
+    if end + payload_bytes > len(buf):
+        raise LogTruncatedError("chunk payload extends past end of file")
+    if (zlib.crc32(buf[end : end + payload_bytes]) & 0xFFFFFFFF) != crc:
+        raise LogCorruptError(f"chunk at offset {offset} failed CRC check")
+    return n_records, end + payload_bytes
 
 
 def pack_index(chunks: list[ChunkInfo]) -> bytes:

@@ -15,6 +15,7 @@ chunks forward until the first incomplete one.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
@@ -25,6 +26,7 @@ from .format import (
     ChunkInfo,
     EvlHeader,
     HEADER_BYTES,
+    check_chunk_at,
     read_chunk_at,
     unpack_header,
     unpack_index,
@@ -32,7 +34,55 @@ from .format import (
 )
 from .schema import LogRecordArray, empty_records, records_from_bytes
 
-__all__ = ["LogReader", "scan_intact_chunks"]
+__all__ = [
+    "LogReader",
+    "SliceDescriptor",
+    "read_slice_descriptor",
+    "scan_intact_chunks",
+]
+
+
+@dataclass(frozen=True)
+class SliceDescriptor:
+    """A zero-copy work order: *where* a window's records live, not the
+    records themselves.
+
+    The root builds one per file from the chunk index (plus a CRC scan —
+    no payload decode) and ships it to a worker, which mmaps the file and
+    decodes exactly the listed chunks.  Pickled size is O(chunks), not
+    O(records): a few dozen bytes per task instead of the full record
+    array.
+    """
+
+    path: str
+    t0: int
+    t1: int
+    #: byte offsets of the chunks whose time envelope overlaps the window
+    chunk_offsets: tuple[int, ...]
+    #: declared record count across those chunks (upper bound on the slice)
+    n_records: int
+
+
+def read_slice_descriptor(descriptor: SliceDescriptor) -> LogRecordArray:
+    """Worker side of zero-copy dispatch: materialize a descriptor.
+
+    Maps the file, decodes only the listed chunks, and applies the window
+    mask — byte-identical to
+    :meth:`LogReader.read_time_slice` on the same file and window.
+    """
+    parts = []
+    with LogReader(descriptor.path, use_mmap=True) as reader:
+        for offset in descriptor.chunk_offsets:
+            image, _n, _next = read_chunk_at(
+                reader._buf, offset, reader.header.compressed
+            )
+            rec = records_from_bytes(image)
+            mask = (rec["start"] < descriptor.t1) & (rec["stop"] > descriptor.t0)
+            if mask.any():
+                parts.append(rec[mask])
+    if not parts:
+        return empty_records(0)
+    return np.concatenate(parts) if len(parts) > 1 else parts[0]
 
 
 def scan_intact_chunks(
@@ -207,7 +257,43 @@ class LogReader:
         the chunk-pruning benchmark)."""
         return sum(1 for c in self.chunks if c.overlaps(t0, t1))
 
+    def slice_descriptor(self, t0: int, t1: int) -> SliceDescriptor:
+        """Describe the window's byte locations instead of reading them."""
+        if t1 <= t0:
+            raise ValueError(f"empty time slice [{t0}, {t1})")
+        overlapping = [c for c in self.chunks if c.overlaps(t0, t1)]
+        return SliceDescriptor(
+            path=str(self.path),
+            t0=int(t0),
+            t1=int(t1),
+            chunk_offsets=tuple(c.offset for c in overlapping),
+            n_records=sum(c.n_records for c in overlapping),
+        )
+
     # -- integrity ----------------------------------------------------------------
+
+    def check_crc(self, t0: int | None = None, t1: int | None = None) -> int:
+        """CRC-verify chunk framing without decoding payloads.
+
+        With a window, only chunks overlapping ``[t0, t1)`` are checked
+        (the chunks a strict sliced read would decode); without one, the
+        whole file.  Returns the number of chunks checked; raises on the
+        first damaged chunk.  This is the root-side integrity gate of
+        zero-copy dispatch — same failure classes as :meth:`verify`, at a
+        fraction of the cost.
+        """
+        checked = 0
+        for chunk in self.chunks:
+            if t0 is not None and t1 is not None and not chunk.overlaps(t0, t1):
+                continue
+            n, _next = check_chunk_at(self._buf, chunk.offset)
+            if n != chunk.n_records:
+                raise LogFormatError(
+                    f"{self.path}: chunk at {chunk.offset} holds {n} records, "
+                    f"index says {chunk.n_records}"
+                )
+            checked += 1
+        return checked
 
     def verify(self) -> int:
         """Decode every chunk, checking framing and CRCs end to end.

@@ -1,0 +1,365 @@
+"""Equivalence contract between the two collocation kernels and the two
+dispatch modes.
+
+The interval-overlap kernel (``kernel="intervals"``) and the paper's
+dense-hours kernel (``kernel="dense-hours"``) must produce **bit-identical**
+upper-triangular CSR adjacencies — same ``data``, ``indices`` and
+``indptr`` — on any input, including the awkward ones: overlapping spells,
+re-entries, duplicate person/hour records, single-person places, and empty
+slices.  Likewise by-value and zero-copy dispatch must be indistinguishable
+in output, including through checkpoint/resume and quarantine paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import synthesize_from_logs, synthesize_network
+from repro.core.adjacency import sum_adjacency_list
+from repro.core.balance import BalanceReport
+from repro.core.colloc import build_collocation_matrices, merge_collocations
+from repro.core.intervals import (
+    build_interval_pack,
+    merge_packs,
+    select_pack_places,
+    sum_pack_adjacency,
+)
+from repro.core.pipeline import SynthesisReport, _merge_balance
+from repro.core.slicing import slice_records
+from repro.distrib import SerialPool, ThreadPool
+from repro.errors import LogCorruptError
+from repro.evlog import LogSet, make_records, write_rank_logs
+from repro.evlog.multifile import rank_log_path
+from tests._faults import FlakyPool, WorkerCrash
+
+N_PERSONS = 150
+N_PLACES = 50
+T0, T1 = 0, 96
+
+
+def csr_identical(a, b):
+    """Bit-for-bit CSR equality — the contract, not mere closeness."""
+    return (
+        a.shape == b.shape
+        and a.dtype == b.dtype
+        and np.array_equal(a.data, b.data)
+        and np.array_equal(a.indices, b.indices)
+        and np.array_equal(a.indptr, b.indptr)
+    )
+
+
+def tricky_records(rng, n_records=600, t_max=120):
+    """Random logs deliberately exercising kernel edge cases.
+
+    Includes overlapping spells (same person/place, overlapping windows),
+    re-entries (leave and come back), verbatim duplicate records, and a
+    guaranteed single-person place.
+    """
+    start = rng.integers(0, t_max - 1, n_records).astype(np.uint32)
+    stop = start + rng.integers(1, 12, n_records).astype(np.uint32)
+    person = rng.integers(0, N_PERSONS, n_records).astype(np.uint32)
+    place = rng.integers(0, N_PLACES - 1, n_records).astype(np.uint32)
+
+    # verbatim duplicates: same (person, place, hours) recorded twice
+    dup = rng.integers(0, n_records, max(1, n_records // 5))
+    # overlapping spell for the duplicated rows, shifted to intersect
+    ov_start = np.maximum(start[dup].astype(np.int64) - 2, 0).astype(np.uint32)
+    ov_stop = (stop[dup] + np.uint32(3)).astype(np.uint32)
+    # re-entry: same person/place again after a gap
+    re_start = (stop[dup] + np.uint32(5)).astype(np.uint32)
+    re_stop = re_start + np.uint32(2)
+
+    start = np.concatenate([start, start[dup], ov_start, re_start])
+    stop = np.concatenate([stop, stop[dup], ov_stop, re_stop])
+    person = np.concatenate([person] + [person[dup]] * 3)
+    place = np.concatenate([place] + [place[dup]] * 3)
+
+    # single-person place: one lonely visitor at the last place id
+    start = np.append(start, np.uint32(3))
+    stop = np.append(stop, np.uint32(40))
+    person = np.append(person, np.uint32(0))
+    place = np.append(place, np.uint32(N_PLACES - 1))
+
+    activity = rng.integers(0, 6, len(start)).astype(np.uint32)
+    return make_records(start, stop, person, activity, place)
+
+
+def write_tricky_logs(directory, seed, n_ranks=6):
+    rng = np.random.default_rng(seed)
+    # disjoint place ranges per rank keep batch processing exact, matching
+    # the locality contract of the distributed model's rank logs
+    per_rank = []
+    for r in range(n_ranks):
+        rec = tricky_records(rng, n_records=200)
+        rec["place"] = rec["place"] % (N_PLACES // n_ranks) + r * (
+            N_PLACES // n_ranks
+        )
+        per_rank.append(rec)
+    write_rank_logs(directory, per_rank)
+    return directory
+
+
+class TestKernelBitIdentity:
+    """Same records, both kernels, identical CSR triple."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pipeline_identity_random_logs(self, seed):
+        rec = tricky_records(np.random.default_rng(seed))
+        dense, _ = synthesize_network(
+            rec, N_PERSONS, T0, T1, kernel="dense-hours"
+        )
+        ivals, _ = synthesize_network(rec, N_PERSONS, T0, T1, kernel="intervals")
+        assert csr_identical(dense.adjacency, ivals.adjacency)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_unit_identity(self, seed):
+        """Kernel primitives agree before any pipeline orchestration."""
+        rng = np.random.default_rng(100 + seed)
+        rec = slice_records(tricky_records(rng), T0, T1)
+        mats = build_collocation_matrices(rec, T0, T1)
+        pack = build_interval_pack(rec, T0, T1)
+        a = sum_adjacency_list(mats, N_PERSONS)
+        b = sum_pack_adjacency([pack], N_PERSONS)
+        assert csr_identical(a, b)
+        # interval work is the true pairwise flop count; segments coalesce
+        # hours, so it never exceeds the dense model's
+        assert 0 < pack.work <= sum(m.work for m in mats)
+        assert pack.person_hours == sum(m.nnz for m in mats)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_split_merge_roundtrip(self, seed):
+        """select_pack_places / merge_packs preserve the adjacency exactly
+        for any partition of the place set."""
+        rng = np.random.default_rng(200 + seed)
+        rec = slice_records(tricky_records(rng), T0, T1)
+        pack = build_interval_pack(rec, T0, T1)
+        places = pack.places
+        cut = rng.permutation(len(places))
+        half = len(places) // 2
+        left = select_pack_places(pack, places[np.sort(cut[:half])])
+        right = select_pack_places(pack, places[np.sort(cut[half:])])
+        parts = [p for p in (left, right) if p is not None]
+        whole = sum_pack_adjacency([pack], N_PERSONS)
+        split = sum_pack_adjacency(parts, N_PERSONS)
+        assert csr_identical(whole, split)
+        merged = merge_packs(parts)
+        assert csr_identical(whole, sum_pack_adjacency([merged], N_PERSONS))
+
+    def test_select_empty_returns_none(self):
+        rec = slice_records(tricky_records(np.random.default_rng(0)), T0, T1)
+        pack = build_interval_pack(rec, T0, T1)
+        assert select_pack_places(pack, np.array([10**6])) is None
+
+    def test_merge_collocations_matches_single_build(self):
+        """Per-file dense matrices for a shared place merge to exactly the
+        matrix a single concatenated build would produce."""
+        rng = np.random.default_rng(7)
+        rec = slice_records(tricky_records(rng), T0, T1)
+        split = len(rec) // 2
+        a = build_collocation_matrices(rec[:split], T0, T1)
+        b = build_collocation_matrices(rec[split:], T0, T1)
+        whole = build_collocation_matrices(rec, T0, T1)
+        by_place: dict = {}
+        for m in a + b:
+            by_place.setdefault(m.place, []).append(m)
+        merged = {
+            p: (ms[0] if len(ms) == 1 else merge_collocations(ms))
+            for p, ms in by_place.items()
+        }
+        assert set(merged) == {m.place for m in whole}
+        for m in whole:
+            got = merged[m.place]
+            assert np.array_equal(got.persons, m.persons)
+            assert csr_identical(got.matrix, m.matrix)
+
+    def test_empty_slice_window(self):
+        """A window with no overlapping records yields the empty network
+        from both kernels (via the from-logs path, which tolerates empty
+        batches)."""
+        rec = tricky_records(np.random.default_rng(3))
+        for kernel in ("dense-hours", "intervals"):
+            net, report = synthesize_network(
+                rec, N_PERSONS, 500, 600, kernel=kernel
+            )
+            assert net.adjacency.nnz == 0
+            assert report.n_sliced_records == 0
+
+
+class TestDispatchIdentity:
+    """By-value and zero-copy dispatch are output-indistinguishable."""
+
+    @pytest.mark.parametrize("kernel", ["dense-hours", "intervals"])
+    def test_value_vs_zero_copy(self, tmp_path, kernel):
+        logs = write_tricky_logs(tmp_path / "logs", seed=11)
+        val, rep_v = synthesize_from_logs(
+            logs, N_PERSONS, T0, T1, batch_size=2, kernel=kernel,
+            dispatch="value",
+        )
+        zc, rep_z = synthesize_from_logs(
+            logs, N_PERSONS, T0, T1, batch_size=2, kernel=kernel,
+            dispatch="zero-copy",
+        )
+        assert csr_identical(val.adjacency, zc.adjacency)
+        assert rep_v.n_records == rep_z.n_records
+        assert rep_v.n_places == rep_z.n_places
+        assert rep_v.colloc_nnz_total == rep_z.colloc_nnz_total
+
+    def test_zero_copy_threadpool(self, tmp_path):
+        logs = write_tricky_logs(tmp_path / "logs", seed=12)
+        base, _ = synthesize_from_logs(logs, N_PERSONS, T0, T1, batch_size=2)
+        with ThreadPool(3) as pool:
+            zc, _ = synthesize_from_logs(
+                logs, N_PERSONS, T0, T1, batch_size=2,
+                pool=pool, dispatch="zero-copy",
+            )
+        assert csr_identical(base.adjacency, zc.adjacency)
+
+    def test_zero_copy_ships_fewer_bytes(self, tmp_path):
+        """The point of descriptors: root→worker traffic shrinks from
+        O(records) to O(1) per task."""
+        logs = write_tricky_logs(tmp_path / "logs", seed=13)
+
+        def shipped(dispatch):
+            pool = SerialPool()
+            pool.track_bytes = True
+            try:
+                synthesize_from_logs(
+                    logs, N_PERSONS, T0, T1, batch_size=2,
+                    pool=pool, dispatch=dispatch,
+                )
+            finally:
+                pool.close()
+            return pool.bytes_shipped
+
+    # stage-2 inputs dominate: records by value vs ~100-byte descriptors
+        assert shipped("zero-copy") < shipped("value")
+
+    def test_descriptor_matches_read_time_slice(self, tmp_path):
+        from repro.evlog.reader import LogReader, read_slice_descriptor
+
+        logs = write_tricky_logs(tmp_path / "logs", seed=14)
+        path = rank_log_path(logs, 0)
+        with LogReader(path, use_mmap=True) as reader:
+            desc = reader.slice_descriptor(T0, T1)
+            direct = reader.read_time_slice(T0, T1)
+        via_desc = read_slice_descriptor(desc)
+        assert np.array_equal(via_desc, direct)
+        # n_records counts the listed chunks' records — an upper bound on
+        # what survives the window mask
+        assert desc.n_records >= len(direct)
+
+
+class TestCrossConfigResume:
+    """A checkpoint written under one (kernel, dispatch) pair is valid under
+    any other — the digest deliberately excludes both, because outputs are
+    bit-identical."""
+
+    @pytest.mark.parametrize(
+        "first,second",
+        [
+            (("dense-hours", "value"), ("intervals", "zero-copy")),
+            (("intervals", "value"), ("dense-hours", "value")),
+            (("intervals", "zero-copy"), ("intervals", "value")),
+        ],
+    )
+    def test_resume_across_configs(self, tmp_path, first, second):
+        logs = write_tricky_logs(tmp_path / "logs", seed=21)
+        baseline, _ = synthesize_from_logs(logs, N_PERSONS, T0, T1, batch_size=2)
+
+        ckpt = tmp_path / "ckpt"
+        k1, d1 = first
+        # die inside batch 2 (after one committed batch); zero-copy issues
+        # two maps per batch as well (descriptor build + adjacency)
+        pool = FlakyPool(SerialPool(), die_on_calls={2})
+        with pytest.raises(WorkerCrash):
+            synthesize_from_logs(
+                logs, N_PERSONS, T0, T1, batch_size=2,
+                pool=pool, checkpoint=ckpt, kernel=k1, dispatch=d1,
+            )
+        pool.inner.close()
+
+        k2, d2 = second
+        resumed, report = synthesize_from_logs(
+            logs, N_PERSONS, T0, T1, batch_size=2,
+            resume=ckpt, kernel=k2, dispatch=d2,
+        )
+        assert report.resumed_batches == 1
+        assert report.batches == 3
+        assert csr_identical(baseline.adjacency, resumed.adjacency)
+
+
+class TestQuarantineParity:
+    """Zero-copy's CRC-only scan quarantines exactly the files value-mode
+    quarantines, and the surviving network is identical."""
+
+    def _corrupt(self, path):
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+    def test_same_quarantine_same_network(self, tmp_path):
+        logs = write_tricky_logs(tmp_path / "logs", seed=31)
+        bad = rank_log_path(logs, 2)
+        self._corrupt(bad)
+        val, rep_v = synthesize_from_logs(
+            logs, N_PERSONS, T0, T1, batch_size=2, dispatch="value"
+        )
+        zc, rep_z = synthesize_from_logs(
+            logs, N_PERSONS, T0, T1, batch_size=2, dispatch="zero-copy"
+        )
+        assert rep_v.quarantined == [str(bad)]
+        assert rep_z.quarantined == [str(bad)]
+        assert csr_identical(val.adjacency, zc.adjacency)
+
+    @pytest.mark.parametrize("dispatch", ["value", "zero-copy"])
+    def test_strict_raises(self, tmp_path, dispatch):
+        logs = write_tricky_logs(tmp_path / "logs", seed=32)
+        self._corrupt(rank_log_path(logs, 1))
+        with pytest.raises(LogCorruptError):
+            synthesize_from_logs(
+                logs, N_PERSONS, T0, T1, batch_size=2,
+                strict=True, dispatch=dispatch,
+            )
+
+
+class TestBalanceAggregation:
+    """Satellite: SynthesisReport.balance is the worst batch, not the last."""
+
+    def test_merge_keeps_worst_case(self):
+        report = SynthesisReport(n_records=0, n_workers=2)
+        even = BalanceReport(loads=np.array([10, 10]), max_item=10)
+        skewed = BalanceReport(loads=np.array([30, 2]), max_item=30)
+        _merge_balance(report, skewed)
+        _merge_balance(report, even)  # later, better batch must not win
+        assert report.balance is skewed
+        _merge_balance(report, None)
+        assert report.balance is skewed
+
+    def test_from_logs_reports_worst_batch(self, tmp_path):
+        """First batch is pathologically skewed (one giant place), last is
+        perfectly even; the report must keep the skewed one."""
+        giant = make_records(
+            np.zeros(4000, np.uint32),
+            np.full(4000, 90, np.uint32),
+            np.arange(4000) % N_PERSONS,
+            np.zeros(4000, np.uint32),
+            np.zeros(4000, np.uint32),
+        )
+        even = make_records(
+            np.zeros(8, np.uint32),
+            np.full(8, 90, np.uint32),
+            np.arange(8, dtype=np.uint32) % np.uint32(N_PERSONS),
+            np.zeros(8, np.uint32),
+            np.arange(1, 9, dtype=np.uint32),
+        )
+        logs = tmp_path / "logs"
+        write_rank_logs(logs, [giant, even])
+        with ThreadPool(2) as pool:
+            _, report = synthesize_from_logs(
+                logs, N_PERSONS, T0, T1, batch_size=1, pool=pool
+            )
+        # batch 1 (giant place) cannot be balanced across 2 workers; batch 2
+        # (8 equal singleton-pair places) can.  Worst case must survive.
+        assert report.balance is not None
+        assert report.balance.imbalance > 1.5
