@@ -66,6 +66,8 @@ from .evlog import CachedLogWriter, LogReader, LogSet
 from .core import (
     CollocationNetwork,
     SynthesisReport,
+    TileCache,
+    query_window,
     synthesize_from_logs,
     synthesize_network,
 )
@@ -125,6 +127,8 @@ __all__ = [
     # synthesis
     "CollocationNetwork",
     "SynthesisReport",
+    "TileCache",
+    "query_window",
     "synthesize_from_logs",
     "synthesize_network",
     # analysis

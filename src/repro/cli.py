@@ -178,6 +178,49 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .core.tilecache import TileCache
+
+    pop = load_population(args.population)
+    pool = None
+    if args.pool != "serial":
+        pool = make_pool(args.pool, args.workers)
+    cache = TileCache(
+        args.log_dir,
+        pop.n_persons,
+        tile_hours=args.tile_hours,
+        budget_nnz=args.budget_nnz,
+        cache_dir=args.cache_dir,
+        pool=pool,
+        dispatch=args.dispatch,
+        strict=args.strict,
+    )
+    try:
+        if cache.quarantined:
+            print(
+                f"warning: {len(cache.quarantined)} damaged log file(s) "
+                "quarantined (re-run with --strict to fail instead)"
+            )
+        for i, (t0, t1) in enumerate(args.window):
+            net = cache.query_window(t0, t1)
+            print(
+                f"[{t0:>6}, {t1:>6}): {net.n_edges:,} edges, "
+                f"{net.total_weight:,} collocated person-pair hours"
+            )
+            if args.out is not None:
+                out = Path(args.out)
+                if len(args.window) > 1:
+                    out = out.with_name(f"{out.stem}_{t0}_{t1}{out.suffix}")
+                print(f"  wrote {net.save(out)}")
+        print()
+        print(cache.stats.summary())
+    finally:
+        cache.close()
+        if pool is not None:
+            pool.close()
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     net = CollocationNetwork.load(args.network)
     print(summarize(net).report())
@@ -340,6 +383,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint directory (config must match)",
     )
     p.set_defaults(fn=_cmd_synthesize)
+
+    p = sub.add_parser(
+        "query",
+        help="arbitrary-window network queries through the temporal "
+        "tile cache",
+    )
+    p.add_argument("--log-dir", required=True)
+    p.add_argument("--population", required=True)
+    p.add_argument(
+        "--window", type=int, nargs=2, action="append", required=True,
+        metavar=("T0", "T1"),
+        help="query window [T0, T1) in simulation hours; repeatable — "
+        "later windows reuse tiles built for earlier ones",
+    )
+    p.add_argument(
+        "--tile-hours", type=int, default=24,
+        help="base tile width in simulation hours (default: 24)",
+    )
+    p.add_argument(
+        "--budget-nnz", type=int, default=None,
+        help="in-memory cache budget in stored matrix nonzeros "
+        "(default: unbounded)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist tiles to DIR; a stale log-set digest invalidates "
+        "them automatically",
+    )
+    p.add_argument(
+        "--pool", choices=["serial", "thread", "process"], default="serial",
+        help="worker pool backend for tile construction",
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--dispatch", choices=["value", "zero-copy"], default="value",
+        help="how records reach tile-building workers",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="fail on the first damaged log file instead of quarantining it",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="save the queried network(s); multiple windows get a "
+        "_T0_T1 suffix",
+    )
+    p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("analyze", help="network statistics and figures")
     p.add_argument("--network", required=True)

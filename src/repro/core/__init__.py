@@ -41,12 +41,18 @@ from .pipeline import (
     load_checkpoint_manifest,
 )
 from .streaming import StreamingSynthesizer, WeeklyNetworkSeries
+from .tilecache import TileCache, TileCacheStats, query_window
 from .bsp_pipeline import (
     BspSynthesisResult,
     synthesize_network_bsp,
     synthesize_from_logs_bsp,
 )
-from .layers import synthesize_layers, layer_records
+from .layers import (
+    synthesize_layers,
+    synthesize_layers_from_logs,
+    layer_caches,
+    layer_records,
+)
 
 __all__ = [
     "slice_records",
@@ -73,9 +79,14 @@ __all__ = [
     "load_checkpoint_manifest",
     "StreamingSynthesizer",
     "WeeklyNetworkSeries",
+    "TileCache",
+    "TileCacheStats",
+    "query_window",
     "BspSynthesisResult",
     "synthesize_network_bsp",
     "synthesize_from_logs_bsp",
     "synthesize_layers",
+    "synthesize_layers_from_logs",
+    "layer_caches",
     "layer_records",
 ]

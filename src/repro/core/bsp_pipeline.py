@@ -189,6 +189,7 @@ def synthesize_from_logs_bsp(
     batch_size: int = 16,
     strict: bool = False,
     kernel: str = "intervals",
+    cache=None,
 ) -> BspSynthesisResult:
     """Batched from-logs synthesis on the simulated MPI cluster.
 
@@ -196,8 +197,32 @@ def synthesize_from_logs_bsp(
     batches of ``batch_size`` files, per-batch networks summed — but runs
     each batch as a BSP job.  Damaged files are quarantined exactly as in
     the task-pool pipeline unless ``strict=True``.
+
+    With a :class:`~repro.core.tilecache.TileCache`, the window is served
+    from cached tiles (bit-identical, interval kernel only) and no cluster
+    communication happens at all — the zero-traffic result shows what the
+    cache saves over a full BSP re-synthesis.
     """
     from ..evlog.reader import LogReader
+
+    if cache is not None:
+        if kernel != "intervals":
+            raise SynthesisError(
+                "the tile cache serves interval-kernel synthesis only"
+            )
+        if cache.n_persons != n_persons:
+            raise SynthesisError(
+                f"cache population {cache.n_persons} != requested {n_persons}"
+            )
+        return BspSynthesisResult(
+            network=cache.query_window(t0, t1),
+            traffic=TrafficStats(),
+            n_ranks=n_ranks,
+            n_places=0,
+            matrices_moved=0,
+            batches=0,
+            quarantined=list(cache.quarantined),
+        )
 
     log_set = log_dir if isinstance(log_dir, LogSet) else LogSet(log_dir)
     network: CollocationNetwork | None = None

@@ -15,16 +15,24 @@ place has exactly one kind — which the tests assert.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from ..errors import SynthesisError
+from ..evlog.multifile import LogSet
 from ..evlog.schema import LOG_DTYPE, LogRecordArray
 from ..distrib.taskpool import WorkerPool
 from ..synthpop.places import PlaceKind, PlaceTable
 from .network import CollocationNetwork
 from .pipeline import synthesize_network
 
-__all__ = ["synthesize_layers", "layer_records"]
+__all__ = [
+    "synthesize_layers",
+    "synthesize_layers_from_logs",
+    "layer_caches",
+    "layer_records",
+]
 
 
 def layer_records(
@@ -69,3 +77,70 @@ def synthesize_layers(
         )
         layers[kind.name.lower()] = net
     return layers
+
+
+def layer_caches(
+    log_dir: "str | Path | LogSet",
+    places: PlaceTable,
+    n_persons: int,
+    tile_hours: int = 24,
+    budget_nnz: int | None = None,
+    cache_dir: "str | Path | None" = None,
+    pool: WorkerPool | None = None,
+    dispatch: str = "value",
+    strict: bool = False,
+) -> dict:
+    """One :class:`~repro.core.tilecache.TileCache` per place kind.
+
+    Each cache restricts tile construction to records at places of its
+    kind (via the cache's ``place_mask``), so repeated layer queries over
+    sliding windows reuse per-kind tiles instead of re-filtering records.
+    With ``cache_dir``, each kind persists into its own subdirectory.
+    ``budget_nnz`` applies per kind.  Close every cache when done.
+    """
+    from .tilecache import TileCache
+
+    caches: dict[str, TileCache] = {}
+    for kind in PlaceKind:
+        name = kind.name.lower()
+        caches[name] = TileCache(
+            log_dir,
+            n_persons,
+            tile_hours=tile_hours,
+            budget_nnz=budget_nnz,
+            cache_dir=Path(cache_dir) / name if cache_dir is not None else None,
+            pool=pool,
+            dispatch=dispatch,
+            strict=strict,
+            place_mask=places.kind == int(kind),
+        )
+    return caches
+
+
+def synthesize_layers_from_logs(
+    log_dir: "str | Path | LogSet",
+    places: PlaceTable,
+    n_persons: int,
+    t0: int,
+    t1: int,
+    caches: dict | None = None,
+    **cache_kwargs,
+) -> tuple[dict[str, CollocationNetwork], dict]:
+    """One collocation network per place kind, served from per-kind tile
+    caches.
+
+    Returns ``(layers, caches)``; pass ``caches`` back for subsequent
+    windows so the per-kind tiles stay warm, and close them when done.
+    Layer decomposition stays exact: the four layer adjacencies sum to the
+    full-network adjacency over the same window.
+    """
+    if caches is None:
+        caches = layer_caches(log_dir, places, n_persons, **cache_kwargs)
+    elif cache_kwargs:
+        raise SynthesisError(
+            "pass cache construction arguments or existing caches, not both"
+        )
+    layers = {
+        name: cache.query_window(t0, t1) for name, cache in caches.items()
+    }
+    return layers, caches

@@ -665,6 +665,7 @@ def synthesize_from_logs(
     resume: str | Path | None = None,
     kernel: str = DEFAULT_KERNEL,
     dispatch: str = DEFAULT_DISPATCH,
+    cache=None,
 ) -> tuple[CollocationNetwork, SynthesisReport]:
     """Synthesize the network from a directory of per-rank EVL files.
 
@@ -701,9 +702,41 @@ def synthesize_from_logs(
         is raised.  Completed batches are skipped and the partial network
         is restored; checkpointing continues into the same directory unless
         a different ``checkpoint`` is given.
+    cache:
+        A :class:`~repro.core.tilecache.TileCache` over the same log
+        directory.  When given, the window is served from the cache's
+        composable tiles — bit-identical to the direct interval-kernel
+        synthesis, O(log W) cached partials instead of a record re-read —
+        and the batching arguments are unused.  Incompatible with
+        ``checkpoint``/``resume`` (the cache *is* the persistent state)
+        and with the dense-hours kernel.
     """
     _check_kernel(kernel)
     _check_dispatch(dispatch)
+    if cache is not None:
+        if checkpoint is not None or resume is not None:
+            raise SynthesisError(
+                "cache= cannot be combined with checkpoint/resume: the tile "
+                "store is the cache's own persistence"
+            )
+        if kernel != "intervals":
+            raise SynthesisError(
+                "the tile cache serves interval-kernel synthesis only"
+            )
+        if cache.n_persons != n_persons:
+            raise SynthesisError(
+                f"cache population {cache.n_persons} != requested {n_persons}"
+            )
+        report = SynthesisReport(
+            n_workers=cache.pool.n_workers,
+            batches=0,
+            kernel="intervals",
+            dispatch=cache.dispatch,
+            quarantined=list(cache.quarantined),
+        )
+        with report.timings.time("cache_query"):
+            network = cache.query_window(t0, t1)
+        return network, report
     log_set = log_dir if isinstance(log_dir, LogSet) else LogSet(log_dir)
     own_pool = pool is None
     pool = pool or SerialPool()

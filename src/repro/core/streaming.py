@@ -27,6 +27,7 @@ from ..config import HOURS_PER_WEEK
 from ..errors import SynthesisError
 from ..evlog.multifile import LogSet
 from ..distrib.taskpool import WorkerPool
+from .adjacency import accumulate_adjacency
 from .network import CollocationNetwork
 from .pipeline import synthesize_from_logs
 
@@ -39,6 +40,10 @@ class WeeklyNetworkSeries:
 
     networks: list[CollocationNetwork]
     interval_hours: int
+    #: tile cache the series was synthesized through, when one was used —
+    #: lets :meth:`total` reduce O(log W) cached tiles instead of summing
+    #: per-interval matrices
+    cache: "object | None" = None
 
     def __post_init__(self) -> None:
         if not self.networks:
@@ -56,11 +61,22 @@ class WeeklyNetworkSeries:
         return self.networks[0].n_persons
 
     def total(self) -> CollocationNetwork:
-        """The complete summed network ("adjacency matrices simply summed")."""
-        total = self.networks[0]
-        for net in self.networks[1:]:
-            total = total + net
-        return total
+        """The complete summed network ("adjacency matrices simply summed").
+
+        With a tile cache attached the full span is answered as one cached
+        window query (O(log W) tile reduction); otherwise all interval
+        adjacencies are merged in a single pre-sized accumulation — one
+        COO concatenation + ``tocsr`` — instead of growing a running sum
+        pairwise.  Both paths produce the identical canonical matrix.
+        """
+        t0 = min(net.t0 for net in self.networks)
+        t1 = max(net.t1 for net in self.networks)
+        if self.cache is not None:
+            return self.cache.query_window(t0, t1)
+        adjacency = accumulate_adjacency(
+            [net.adjacency for net in self.networks], self.n_persons
+        )
+        return CollocationNetwork(adjacency, t0=t0, t1=t1)
 
     def _binary(self, index: int) -> sp.csr_matrix:
         a = self.networks[index].adjacency.copy()
@@ -111,15 +127,26 @@ class StreamingSynthesizer:
         pool: WorkerPool | None = None,
         kernel: str = "intervals",
         dispatch: str = "value",
+        cache=None,
     ) -> None:
+        """``cache`` is an optional
+        :class:`~repro.core.tilecache.TileCache` over the log directory:
+        each interval becomes a cached tile query instead of a per-interval
+        record re-read, and the cache is attached to the returned series so
+        :meth:`WeeklyNetworkSeries.total` reduces tiles too."""
         if interval_hours <= 0:
             raise SynthesisError("interval_hours must be positive")
+        if cache is not None and cache.n_persons != n_persons:
+            raise SynthesisError(
+                f"cache population {cache.n_persons} != requested {n_persons}"
+            )
         self.n_persons = n_persons
         self.interval_hours = interval_hours
         self.batch_size = batch_size
         self.pool = pool
         self.kernel = kernel
         self.dispatch = dispatch
+        self.cache = cache
 
     def process(
         self, log_set: LogSet | str, n_intervals: int
@@ -132,17 +159,22 @@ class StreamingSynthesizer:
         for w in range(n_intervals):
             t0 = w * self.interval_hours
             t1 = t0 + self.interval_hours
-            net, _ = synthesize_from_logs(
-                logs,
-                self.n_persons,
-                t0,
-                t1,
-                batch_size=self.batch_size,
-                pool=self.pool,
-                kernel=self.kernel,
-                dispatch=self.dispatch,
-            )
+            if self.cache is not None:
+                net = self.cache.query_window(t0, t1)
+            else:
+                net, _ = synthesize_from_logs(
+                    logs,
+                    self.n_persons,
+                    t0,
+                    t1,
+                    batch_size=self.batch_size,
+                    pool=self.pool,
+                    kernel=self.kernel,
+                    dispatch=self.dispatch,
+                )
             networks.append(net)
         return WeeklyNetworkSeries(
-            networks=networks, interval_hours=self.interval_hours
+            networks=networks,
+            interval_hours=self.interval_hours,
+            cache=self.cache,
         )

@@ -1,0 +1,715 @@
+"""Temporal tile cache: composable partial adjacencies for window queries.
+
+The paper builds the complete network by summing per-interval adjacency
+matrices ("the adjacency matrices are simply summed"), which makes
+collocation adjacency **additive over any disjoint time partition**: a
+spell ``[s, e)`` contributes ``min(e, t1) - max(s, t0)`` collocated hours
+to window ``[t0, t1)``, and splitting the window at any interior point
+splits that contribution exactly.  Every partial sum is an exact integer,
+and every partial adjacency canonicalizes through the same coo→csr
+summation, so composing partials is *bit-identical* (same CSR
+``data``/``indices``/``indptr``) to a direct ``kernel="intervals"``
+synthesis of the same window.
+
+This module exploits that additivity to serve many overlapping or sliding
+window queries without re-reading records per query:
+
+* time is cut into **base tiles** of ``tile_hours`` (default 24 h); tile
+  ``i`` covers ``[i·T, (i+1)·T)`` and stores the partial adjacency of
+  exactly that span, built once from the records;
+* base tiles are merged **segment-tree style** into power-of-two spans:
+  node ``(level, i)`` covers ``2^level`` base tiles starting at tile
+  ``i·2^level`` and is the sum of its two children.  Any aligned tile
+  range decomposes into O(log W) cached nodes (the canonical segment-tree
+  cover), so a query touches logarithmically many partials regardless of
+  window length;
+* an arbitrary ``[t0, t1)`` query composes that cover plus **fringe
+  corrections** — partials for the two unaligned edge spans
+  ``[t0, ceil(t0/T)·T)`` and ``[floor(t1/T)·T, t1)`` — computed from
+  records only in those edge hours.  Fringe partials are cached in the
+  same LRU (keyed by their exact window, memory-only), so a repeated
+  unaligned query re-reads no records at all;
+* composition is a pairwise CSR sum: exact integer addition of canonical
+  upper-triangular matrices, whose canonical result is unique — hence
+  bit-identical to the one-shot accumulation the direct pipeline does.
+
+Resource management
+-------------------
+Tiles live in an LRU dict with **nnz-based accounting** against an
+optional ``budget_nnz``; least-recently-used tiles are evicted first and
+rebuilt (or re-read from disk) on demand, so cache memory never exceeds
+the budget.  With a ``cache_dir``, every built tile is also persisted as
+an atomic ``.npz`` beside a manifest keyed by a **content digest of the
+log set** (file names, sizes, and byte contents of every usable file,
+plus the population size, tile size, and place filter).  Rewriting a log
+— ``repro repair`` / :func:`~repro.evlog.multifile.salvage_rank_logs`,
+or any regeneration — changes the digest, and a cache opened against the
+new digest discards every stale tile before rebuilding.
+
+Tile construction runs through the existing
+:class:`~repro.distrib.taskpool.WorkerPool` machinery — one task per
+tile, batched per query — and under ``dispatch="zero-copy"`` ships
+:class:`~repro.evlog.reader.SliceDescriptor` byte ranges so workers mmap
+and decode the chunks themselves, exactly like the batch pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._util import StageTimings, atomic_write_bytes
+from ..errors import SynthesisError, TileCacheError
+from ..evlog.multifile import LogSet
+from ..evlog.reader import LogReader, SliceDescriptor, read_slice_descriptor
+from ..evlog.schema import LogRecordArray, empty_records
+from ..distrib.taskpool import SerialPool, WorkerPool
+from .adjacency import empty_adjacency
+from .intervals import build_interval_pack, sum_pack_adjacency
+from .network import CollocationNetwork
+from .pipeline import DISPATCHES, _check_dispatch, _merge_duplicate_packs
+from .slicing import clip_records
+
+__all__ = [
+    "TileCache",
+    "TileCacheStats",
+    "query_window",
+    "logset_digest",
+    "TILE_MANIFEST",
+]
+
+TILE_MANIFEST = "tiles.json"
+_TILE_VERSION = 1
+_DEFAULT_TILE_HOURS = 24
+_HASH_CHUNK = 1 << 20
+
+
+def logset_digest(paths: Sequence[str | Path]) -> str:
+    """Content digest of a set of log files (names, sizes, and bytes).
+
+    Any rewrite of a file — salvage after a crash, regeneration, manual
+    edit — changes the digest, which is what keys persisted tiles to the
+    exact log bytes they were computed from.
+    """
+    h = hashlib.sha256()
+    for path in sorted(Path(p) for p in paths):
+        h.update(path.name.encode())
+        h.update(int(path.stat().st_size).to_bytes(8, "little"))
+        with path.open("rb") as fh:
+            while True:
+                block = fh.read(_HASH_CHUNK)
+                if not block:
+                    break
+                h.update(block)
+    return h.hexdigest()
+
+
+@dataclass
+class TileCacheStats:
+    """Observability for one cache's lifetime."""
+
+    queries: int = 0
+    #: cover nodes served from the in-memory LRU
+    tile_hits: int = 0
+    #: fringe partials served from the in-memory LRU
+    fringe_hits: int = 0
+    #: tiles reloaded from the persisted store
+    disk_hits: int = 0
+    #: base tiles built from records
+    tiles_built: int = 0
+    #: upper-level nodes produced by summing their two children
+    tiles_merged: int = 0
+    #: tiles dropped by the LRU to stay under the nnz budget
+    evictions: int = 0
+    #: persisted tiles discarded because their digest went stale
+    invalidated: int = 0
+    #: hours covered by record-level fringe synthesis (unaligned edges)
+    fringe_hours: int = 0
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    def summary(self) -> str:
+        lines = [
+            f"queries          {self.queries:>10,}",
+            f"tile hits        {self.tile_hits:>10,}",
+            f"fringe hits      {self.fringe_hits:>10,}",
+            f"disk hits        {self.disk_hits:>10,}",
+            f"tiles built      {self.tiles_built:>10,}",
+            f"tiles merged     {self.tiles_merged:>10,}",
+            f"evictions        {self.evictions:>10,}",
+            f"invalidated      {self.invalidated:>10,}",
+            f"fringe hours     {self.fringe_hours:>10,}",
+            "--- timings ---",
+            self.timings.report(),
+        ]
+        return "\n".join(lines)
+
+
+def _apply_place_mask(
+    records: LogRecordArray, place_mask: np.ndarray
+) -> LogRecordArray:
+    """Keep records whose place id the boolean mask admits."""
+    if not len(records):
+        return records
+    ids = records["place"].astype(np.int64)
+    if int(ids.max()) >= len(place_mask):
+        raise SynthesisError("records reference places outside the mask")
+    return records[place_mask[ids]]
+
+
+def _window_value_task(
+    args: tuple[LogRecordArray, int, int, int],
+) -> sp.csr_matrix:
+    """Worker (value dispatch): one window's partial adjacency.
+
+    Receives the window's records (already masked to the window and place
+    filter at the root); clips, builds one interval pack, and returns the
+    canonical upper-triangular CSR partial.
+    """
+    records, t0, t1, n_persons = args
+    if not len(records):
+        return empty_adjacency(n_persons)
+    sliced = clip_records(records, t0, t1)
+    pack = build_interval_pack(sliced, t0, t1)
+    return sum_pack_adjacency([pack], n_persons)
+
+
+def _window_descriptor_task(
+    args: tuple[list[SliceDescriptor], int, "np.ndarray | None"],
+) -> sp.csr_matrix:
+    """Worker (zero-copy dispatch): mmap + decode + build one window.
+
+    Receives byte-range descriptors only; a place split across files is
+    union-merged so the partial matches a single build from the
+    concatenated records.
+    """
+    descriptors, n_persons, place_mask = args
+    packs = []
+    for descriptor in descriptors:
+        raw = read_slice_descriptor(descriptor)
+        if place_mask is not None:
+            raw = _apply_place_mask(raw, place_mask)
+        if not len(raw):
+            continue
+        sliced = clip_records(raw, descriptor.t0, descriptor.t1)
+        packs.append(build_interval_pack(sliced, descriptor.t0, descriptor.t1))
+    packs = _merge_duplicate_packs(packs)
+    if not packs:
+        return empty_adjacency(n_persons)
+    return sum_pack_adjacency(packs, n_persons)
+
+
+def _tile_cost(mat: sp.csr_matrix) -> int:
+    """LRU accounting unit: stored nonzeros (floor 1, so empty tiles still
+    occupy a slot and cannot flood the cache for free)."""
+    return max(int(mat.nnz), 1)
+
+
+def _sum_parts(parts: list[sp.csr_matrix], n_persons: int) -> sp.csr_matrix:
+    """Exact pairwise sum of canonical upper-triangular CSR partials.
+
+    Integer addition of canonical CSR matrices yields the canonical CSR of
+    the sum, and the canonical form of a matrix is unique — so this is
+    bit-identical to the one-shot coo-concat accumulation the direct
+    pipeline uses, while skipping its O(nnz log nnz) re-sort.  The result
+    never aliases an input (cached tiles stay immutable).
+    """
+    if not parts:
+        return empty_adjacency(n_persons)
+    out = parts[0]
+    for part in parts[1:]:
+        out = out + part
+    if out is parts[0]:
+        out = out.copy()
+    return out
+
+
+class TileCache:
+    """Precomputed composable partial adjacencies over a log directory.
+
+    Parameters
+    ----------
+    log_dir:
+        Per-rank EVL directory (or an existing :class:`LogSet`).
+    n_persons:
+        Population size (matrix dimension, fixed per cache).
+    tile_hours:
+        Base tile width in simulation hours (default 24).
+    budget_nnz:
+        In-memory LRU budget in stored nonzeros across all cached tiles;
+        ``None`` (default) means unbounded.
+    cache_dir:
+        Directory for persisted tiles.  Opened against a stale content
+        digest, every persisted tile is discarded before rebuilding.
+    pool:
+        Worker pool for tile construction; default
+        :class:`~repro.distrib.taskpool.SerialPool` (owned, closed with
+        the cache).
+    dispatch:
+        ``"value"`` ships record arrays to workers, ``"zero-copy"`` ships
+        :class:`SliceDescriptor` byte ranges.
+    strict:
+        When False (default), damaged log files are quarantined exactly
+        like the batch pipeline; when True the first damaged file raises.
+    place_mask:
+        Optional boolean array over place ids; only records at admitted
+        places contribute (the layer-synthesis hook).  Part of the digest.
+    """
+
+    def __init__(
+        self,
+        log_dir: str | Path | LogSet,
+        n_persons: int,
+        tile_hours: int = _DEFAULT_TILE_HOURS,
+        budget_nnz: int | None = None,
+        cache_dir: str | Path | None = None,
+        pool: WorkerPool | None = None,
+        dispatch: str = "value",
+        strict: bool = False,
+        place_mask: np.ndarray | None = None,
+    ) -> None:
+        if n_persons <= 0:
+            raise TileCacheError("n_persons must be positive")
+        if tile_hours <= 0:
+            raise TileCacheError("tile_hours must be positive")
+        if budget_nnz is not None and budget_nnz < 1:
+            raise TileCacheError("budget_nnz must be positive (or None)")
+        _check_dispatch(dispatch)
+        self.log_set = log_dir if isinstance(log_dir, LogSet) else LogSet(log_dir)
+        self.n_persons = int(n_persons)
+        self.tile_hours = int(tile_hours)
+        self.budget_nnz = budget_nnz
+        self.dispatch = dispatch
+        self.place_mask = (
+            np.asarray(place_mask, dtype=bool) if place_mask is not None else None
+        )
+        self.stats = TileCacheStats()
+
+        # quarantine verdict is per file and window-independent, mirroring
+        # the batch pipeline: a damaged file never contributes to any tile
+        if strict:
+            for path in self.log_set.paths:
+                LogReader(path, strict=True).verify()
+            bad: list[tuple[Path, str]] = []
+        else:
+            bad = self.log_set.quarantine_scan()
+        damaged = {path for path, _reason in bad}
+        self.paths: list[Path] = [
+            p for p in self.log_set.paths if p not in damaged
+        ]
+        self.quarantined: list[str] = [str(p) for p, _ in bad]
+
+        self.digest = self._config_digest()
+        self._own_pool = pool is None
+        self.pool = pool or SerialPool()
+        self._readers: dict[Path, LogReader] = {}
+        #: LRU over tree nodes ``(level, idx)`` and fringe partials
+        #: ``("F", w0, w1)`` — one nnz budget governs both
+        self._tiles: "OrderedDict[tuple, sp.csr_matrix]" = OrderedDict()
+        self._cached_nnz = 0
+        self._disk: dict[tuple[int, int], str] = {}
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self._cache_dir is not None:
+            self._open_store()
+        self._closed = False
+
+    # -- digest / persisted store ---------------------------------------------
+
+    def _config_digest(self) -> str:
+        """Digest of everything a tile's contents depend on."""
+        payload = {
+            "version": _TILE_VERSION,
+            "logset": logset_digest(self.paths),
+            "quarantined": sorted(Path(p).name for p in self.quarantined),
+            "n_persons": self.n_persons,
+            "tile_hours": self.tile_hours,
+            "place_mask": (
+                hashlib.sha256(np.packbits(self.place_mask).tobytes()).hexdigest()
+                if self.place_mask is not None
+                else None
+            ),
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def _open_store(self) -> None:
+        """Adopt a persisted tile store, discarding it on digest mismatch."""
+        assert self._cache_dir is not None
+        self._cache_dir.mkdir(parents=True, exist_ok=True)
+        manifest_path = self._cache_dir / TILE_MANIFEST
+        if not manifest_path.is_file():
+            return
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            manifest = None
+        stale = (
+            manifest is None
+            or manifest.get("version") != _TILE_VERSION
+            or manifest.get("digest") != self.digest
+        )
+        tiles = (manifest or {}).get("tiles", {})
+        if stale:
+            for fname in tiles.values():
+                try:
+                    (self._cache_dir / fname).unlink()
+                except OSError:
+                    pass
+            try:
+                manifest_path.unlink()
+            except OSError:
+                pass
+            self.stats.invalidated += len(tiles)
+            return
+        for key_str, fname in tiles.items():
+            level_str, _, idx_str = key_str.partition(":")
+            if (self._cache_dir / fname).is_file():
+                self._disk[(int(level_str), int(idx_str))] = fname
+
+    def _write_manifest(self) -> None:
+        assert self._cache_dir is not None
+        manifest = {
+            "version": _TILE_VERSION,
+            "digest": self.digest,
+            "tile_hours": self.tile_hours,
+            "n_persons": self.n_persons,
+            "tiles": {
+                f"{level}:{idx}": fname
+                for (level, idx), fname in sorted(self._disk.items())
+            },
+        }
+        atomic_write_bytes(
+            self._cache_dir / TILE_MANIFEST,
+            json.dumps(manifest, indent=2, sort_keys=True).encode(),
+        )
+
+    def _persist(self, key: tuple[int, int], mat: sp.csr_matrix) -> None:
+        if self._cache_dir is None or key in self._disk:
+            return
+        level, idx = key
+        fname = f"tile_L{level:02d}_{idx:08d}.npz"
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            data=mat.data,
+            indices=mat.indices,
+            indptr=mat.indptr,
+            shape=np.array(mat.shape, dtype=np.int64),
+        )
+        atomic_write_bytes(self._cache_dir / fname, buf.getvalue())
+        self._disk[key] = fname
+        self._write_manifest()
+
+    def _load_disk(self, key: tuple[int, int]) -> sp.csr_matrix | None:
+        assert self._cache_dir is not None
+        try:
+            with np.load(self._cache_dir / self._disk[key]) as z:
+                return sp.csr_matrix(
+                    (z["data"], z["indices"], z["indptr"]),
+                    shape=tuple(z["shape"]),
+                )
+        except (OSError, KeyError, ValueError):
+            # unreadable tile file: drop the pointer, rebuild from records
+            self._disk.pop(key, None)
+            return None
+
+    # -- LRU ------------------------------------------------------------------
+
+    @property
+    def cached_nnz(self) -> int:
+        """Current in-memory accounting total (≤ ``budget_nnz`` always)."""
+        return self._cached_nnz
+
+    @property
+    def n_tiles_cached(self) -> int:
+        return len(self._tiles)
+
+    def _insert(self, key: tuple[int, int], mat: sp.csr_matrix) -> None:
+        if key in self._tiles:
+            self._tiles.move_to_end(key)
+            return
+        self._tiles[key] = mat
+        self._cached_nnz += _tile_cost(mat)
+        if self.budget_nnz is not None:
+            while self._cached_nnz > self.budget_nnz and self._tiles:
+                _k, dropped = self._tiles.popitem(last=False)
+                self._cached_nnz -= _tile_cost(dropped)
+                self.stats.evictions += 1
+
+    # -- record access --------------------------------------------------------
+
+    def _reader(self, path: Path) -> LogReader:
+        reader = self._readers.get(path)
+        if reader is None:
+            reader = LogReader(path, use_mmap=True)
+            self._readers[path] = reader
+        return reader
+
+    def _window_args(self, t0: int, t1: int):
+        """Root side of one window-build task."""
+        if self.dispatch == "zero-copy":
+            descriptors = []
+            for path in self.paths:
+                d = self._reader(path).slice_descriptor(t0, t1)
+                if d.chunk_offsets:
+                    descriptors.append(d)
+            return descriptors, self.n_persons, self.place_mask
+        parts = []
+        for path in self.paths:
+            rec = self._reader(path).read_time_slice(t0, t1)
+            if self.place_mask is not None:
+                rec = _apply_place_mask(rec, self.place_mask)
+            if len(rec):
+                parts.append(rec)
+        records = (
+            np.concatenate(parts)
+            if len(parts) > 1
+            else (parts[0] if parts else empty_records(0))
+        )
+        return records, t0, t1, self.n_persons
+
+    def _build_windows(
+        self, windows: list[tuple[int, int]]
+    ) -> list[sp.csr_matrix]:
+        """Build the partial adjacency of each window, one pool task each."""
+        if not windows:
+            return []
+        task = (
+            _window_descriptor_task
+            if self.dispatch == "zero-copy"
+            else _window_value_task
+        )
+        with self.stats.timings.time("build"):
+            args = [self._window_args(w0, w1) for w0, w1 in windows]
+            return self.pool.map(task, args)
+
+    # -- segment tree ---------------------------------------------------------
+
+    def _cover(self, a0: int, a1: int) -> list[tuple[int, int]]:
+        """Canonical segment-tree cover of base-tile range ``[a0, a1)``:
+        maximal power-of-two spans aligned to their own size, O(log W)."""
+        spans: list[tuple[int, int]] = []
+        p = a0
+        while p < a1:
+            k = (p & -p).bit_length() - 1 if p else (a1 - p).bit_length() - 1
+            while (1 << k) > a1 - p:
+                k -= 1
+            spans.append((k, p >> k))
+            p += 1 << k
+        return spans
+
+    def _available(self, key: tuple[int, int]) -> bool:
+        return key in self._tiles or key in self._disk
+
+    def _collect_missing_base(
+        self, level: int, idx: int, out: list[int]
+    ) -> None:
+        """Base tiles under node ``(level, idx)`` with no cached ancestor
+        at or below the node itself."""
+        if self._available((level, idx)):
+            return
+        if level == 0:
+            out.append(idx)
+            return
+        self._collect_missing_base(level - 1, 2 * idx, out)
+        self._collect_missing_base(level - 1, 2 * idx + 1, out)
+
+    def _get_tile(self, level: int, idx: int) -> sp.csr_matrix:
+        key = (level, idx)
+        mat = self._tiles.get(key)
+        if mat is not None:
+            self._tiles.move_to_end(key)
+            self.stats.tile_hits += 1
+            return mat
+        if key in self._disk:
+            mat = self._load_disk(key)
+            if mat is not None:
+                self.stats.disk_hits += 1
+                self._persist(key, mat)
+                self._insert(key, mat)
+                return mat
+        if level == 0:
+            w0 = idx * self.tile_hours
+            (mat,) = self._build_windows([(w0, w0 + self.tile_hours)])
+            self.stats.tiles_built += 1
+        else:
+            left = self._get_tile(level - 1, 2 * idx)
+            right = self._get_tile(level - 1, 2 * idx + 1)
+            with self.stats.timings.time("merge"):
+                mat = _sum_parts([left, right], self.n_persons)
+            self.stats.tiles_merged += 1
+        self._persist(key, mat)
+        self._insert(key, mat)
+        return mat
+
+    def _materialize_base(self, indices: list[int]) -> None:
+        """Batch-build missing base tiles through one parallel map."""
+        missing = sorted(
+            {i for i in indices if not self._available((0, i))}
+        )
+        if not missing:
+            return
+        T = self.tile_hours
+        mats = self._build_windows([(i * T, (i + 1) * T) for i in missing])
+        for i, mat in zip(missing, mats):
+            self.stats.tiles_built += 1
+            self._persist((0, i), mat)
+            self._insert((0, i), mat)
+
+    # -- public API -----------------------------------------------------------
+
+    def warm(self, t0: int, t1: int) -> int:
+        """Prebuild every tile a query inside ``[t0, t1)`` can touch.
+
+        Base tiles covering the span are constructed in parallel (one pool
+        task each), then the segment-tree cover of the span is merged so
+        large-window queries hit cached upper levels too.  Returns the
+        number of base tiles built.
+        """
+        self._check_open()
+        if t1 <= t0:
+            raise TileCacheError(f"empty warm span [{t0}, {t1})")
+        T = self.tile_hours
+        a0, a1 = t0 // T, -(-t1 // T)
+        built_before = self.stats.tiles_built
+        cover = self._cover(a0, a1)
+        missing: list[int] = []
+        for level, idx in cover:
+            self._collect_missing_base(level, idx, missing)
+        self._materialize_base(missing)
+        for level, idx in cover:
+            self._get_tile(level, idx)
+        return self.stats.tiles_built - built_before
+
+    def query_window(self, t0: int, t1: int) -> CollocationNetwork:
+        """The collocation network of ``[t0, t1)``, composed from tiles.
+
+        Bit-identical (same CSR ``data``/``indices``/``indptr``) to
+        ``synthesize_from_logs(..., kernel="intervals")`` over the same
+        window and log directory.  Aligned spans come from O(log W) cached
+        tiles; unaligned edges are corrected from records in the two edge
+        spans only, and those fringe partials are themselves cached so a
+        repeated query touches no records.
+        """
+        self._check_open()
+        if t1 <= t0:
+            raise TileCacheError(f"empty query window [{t0}, {t1})")
+        if t0 < 0:
+            raise TileCacheError("query windows start at hour 0")
+        T = self.tile_hours
+        a0, a1 = -(-t0 // T), t1 // T
+        plan: list[tuple] = []
+        if a0 >= a1:
+            # no whole tile inside the window: a single fringe covers it
+            plan.append(("fringe", t0, t1))
+        else:
+            if t0 < a0 * T:
+                plan.append(("fringe", t0, a0 * T))
+            plan.extend(("tile", level, idx) for level, idx in self._cover(a0, a1))
+            if a1 * T < t1:
+                plan.append(("fringe", a1 * T, t1))
+
+        missing: list[int] = []
+        fringe_parts: dict[tuple[int, int], sp.csr_matrix] = {}
+        to_build: list[tuple[int, int]] = []
+        for entry in plan:
+            if entry[0] == "tile":
+                self._collect_missing_base(entry[1], entry[2], missing)
+                continue
+            window = (entry[1], entry[2])
+            cached = self._tiles.get(("F", *window))
+            if cached is not None:
+                self._tiles.move_to_end(("F", *window))
+                self.stats.fringe_hits += 1
+                fringe_parts[window] = cached
+            else:
+                to_build.append(window)
+        self._materialize_base(missing)
+        for window, mat in zip(to_build, self._build_windows(to_build)):
+            fringe_parts[window] = mat
+            self._insert(("F", *window), mat)
+        self.stats.fringe_hours += sum(w1 - w0 for w0, w1 in to_build)
+
+        parts: list[sp.csr_matrix] = []
+        for entry in plan:
+            if entry[0] == "tile":
+                parts.append(self._get_tile(entry[1], entry[2]))
+            else:
+                parts.append(fringe_parts[(entry[1], entry[2])])
+        with self.stats.timings.time("reduce"):
+            adjacency = _sum_parts(parts, self.n_persons)
+        self.stats.queries += 1
+        return CollocationNetwork(adjacency, t0=int(t0), t1=int(t1))
+
+    def close(self) -> None:
+        """Release mmapped readers and the owned pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for reader in self._readers.values():
+            reader.close()
+        self._readers.clear()
+        if self._own_pool:
+            self.pool.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise TileCacheError("tile cache is closed")
+
+    def __enter__(self) -> "TileCache":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"TileCache(files={len(self.paths)}, tile_hours={self.tile_hours}, "
+            f"tiles={self.n_tiles_cached}, nnz={self.cached_nnz:,}, "
+            f"dispatch={self.dispatch!r})"
+        )
+
+
+def query_window(
+    log_dir: str | Path | LogSet,
+    n_persons: int,
+    t0: int,
+    t1: int,
+    cache: TileCache | None = None,
+    tile_hours: int = _DEFAULT_TILE_HOURS,
+    budget_nnz: int | None = None,
+    cache_dir: str | Path | None = None,
+    pool: WorkerPool | None = None,
+    dispatch: str = "value",
+    strict: bool = False,
+) -> tuple[CollocationNetwork, TileCache]:
+    """One window query against a (possibly fresh) tile cache.
+
+    Returns ``(network, cache)`` — hold on to the cache and pass it back
+    for subsequent queries so tiles stay warm; close it when done.  With
+    ``cache`` given, the remaining cache-construction arguments are
+    ignored and the cache's population must match ``n_persons``.
+    """
+    if cache is None:
+        cache = TileCache(
+            log_dir,
+            n_persons,
+            tile_hours=tile_hours,
+            budget_nnz=budget_nnz,
+            cache_dir=cache_dir,
+            pool=pool,
+            dispatch=dispatch,
+            strict=strict,
+        )
+    elif cache.n_persons != n_persons:
+        raise TileCacheError(
+            f"cache population {cache.n_persons} != requested {n_persons}"
+        )
+    return cache.query_window(t0, t1), cache

@@ -23,6 +23,7 @@ __all__ = [
     "LogTruncatedError",
     "LogCorruptError",
     "SynthesisError",
+    "TileCacheError",
     "AnalysisError",
     "FitError",
     "LayoutError",
@@ -110,6 +111,10 @@ class LogCorruptError(LogFormatError):
 
 class SynthesisError(ReproError):
     """Collocation network synthesis failed."""
+
+
+class TileCacheError(SynthesisError):
+    """The temporal tile cache was misused or its store is unusable."""
 
 
 class AnalysisError(ReproError):

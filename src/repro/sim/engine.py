@@ -58,6 +58,52 @@ class SimulationResult:
         return self.n_events / (n_persons * days) if days else 0.0
 
 
+class _RecordAccumulator:
+    """Amortized event-record collector for checkpointed runs.
+
+    Snapshots need the records emitted so far as one contiguous array.
+    Re-concatenating every chunk at each checkpoint costs O(R) per
+    snapshot — O(R · checkpoints) over a run.  This accumulator keeps a
+    capacity-doubling buffer instead: chunks queue in ``append`` and
+    :meth:`merged` copies only the chunks added since the previous call,
+    so the total copy work over any run is O(R) regardless of checkpoint
+    cadence.  ``merged`` returns a view of the buffer — callers that store
+    it long-term hand it to ``np.savez`` (which copies) or treat it as
+    read-only.
+    """
+
+    def __init__(self, initial: LogRecordArray | None = None) -> None:
+        self._buf: LogRecordArray = empty_records(0)
+        self._size = 0
+        self._pending: list[LogRecordArray] = []
+        self._pending_n = 0
+        if initial is not None and len(initial):
+            self.append(initial)
+
+    def __len__(self) -> int:
+        return self._size + self._pending_n
+
+    def append(self, rec: LogRecordArray) -> None:
+        if len(rec):
+            self._pending.append(rec)
+            self._pending_n += len(rec)
+
+    def merged(self) -> LogRecordArray:
+        """All appended records, contiguous and in order."""
+        if self._pending:
+            need = self._size + self._pending_n
+            if need > len(self._buf):
+                grown = empty_records(max(need, 2 * len(self._buf), 1024))
+                grown[: self._size] = self._buf[: self._size]
+                self._buf = grown
+            for rec in self._pending:
+                self._buf[self._size : self._size + len(rec)] = rec
+                self._size += len(rec)
+            self._pending = []
+            self._pending_n = 0
+        return self._buf[: self._size]
+
+
 class Simulation:
     """Serial chiSIM-like simulation.
 
@@ -176,13 +222,12 @@ class Simulation:
                     durability=self.config.log_durability,
                 )
 
-        all_records: list[LogRecordArray] = []
+        all_records = _RecordAccumulator()
         spells: OpenSpells | None = None
         week: WeekGrid | None = None
         checkpoints_written = 0
         if snapshot is not None:
-            if len(snapshot.records):
-                all_records.append(snapshot.records)
+            all_records.append(snapshot.records)
             spells = OpenSpells(
                 start=snapshot.spell_start.copy(),
                 activity=snapshot.spell_activity.copy(),
@@ -237,12 +282,9 @@ class Simulation:
                     if writer is not None:
                         # flush so the snapshot offset is a chunk boundary
                         writer.flush()
-                    merged = (
-                        np.concatenate(all_records)
-                        if len(all_records) != 1
-                        else all_records[0]
-                    ) if all_records else empty_records(0)
-                    all_records = [merged]
+                    # copies only chunks queued since the last snapshot,
+                    # not all R records (savez copies again before commit)
+                    merged = all_records.merged()
                     save_sim_checkpoint(
                         ckpt_dir,
                         digest,
@@ -274,9 +316,7 @@ class Simulation:
             if writer is not None:
                 writer.close()
 
-        records = (
-            np.concatenate(all_records) if len(all_records) > 1 else all_records[0]
-        )
+        records = all_records.merged()
         return SimulationResult(
             duration_hours=duration,
             records=records,
@@ -290,16 +330,33 @@ class Simulation:
 
     # -- fast path -------------------------------------------------------------
 
-    def run_fast(self, log_path: str | Path | None = None) -> SimulationResult:
+    def run_fast(
+        self,
+        log_path: str | Path | None = None,
+        compress_log: bool = False,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
+    ) -> SimulationResult:
         """Grid-diff fast path: identical event stream to :meth:`run` when no
         disease layer or observers are active, produced a week at a time.
 
         The per-hour loop costs O(duration × n); this path extracts events
         with one vectorized diff per week, which is how the full pipeline
         benchmarks stay fast at large n.
+
+        ``compress_log`` is honored exactly as in :meth:`run`.  Snapshots
+        need per-hour state, which the week-at-a-time diff never
+        materializes, so ``checkpoint_dir``/``resume`` raise
+        :class:`~repro.errors.SimulationError` instead of being silently
+        ignored — use :meth:`run` for checkpointed runs.
         """
         if self.disease is not None:
             raise SimulationError("run_fast does not support the disease layer")
+        if checkpoint_dir is not None or resume:
+            raise SimulationError(
+                "run_fast does not support checkpoint/resume (snapshots "
+                "need per-hour state); use run() for checkpointed runs"
+            )
         duration = self.config.duration_hours
         writer = None
         if log_path is not None:
@@ -307,6 +364,7 @@ class Simulation:
                 log_path,
                 rank=0,
                 cache_records=self.config.log_cache_records,
+                compress=compress_log,
                 durability=self.config.log_durability,
             )
         all_records: list[LogRecordArray] = []

@@ -119,3 +119,64 @@ class TestObservers:
         )
         with pytest.raises(SimulationError):
             Simulation(pop, cfg).run_fast()
+
+
+class TestRunFastParity:
+    """run_fast must mirror run()'s logging API, not silently drop args."""
+
+    def test_compress_log_honored(self, pop, tmp_path):
+        cfg = config_for(pop, hours=50)
+        Simulation(pop, cfg).run_fast(
+            log_path=tmp_path / "fz.evl", compress_log=True
+        )
+        assert LogReader(tmp_path / "fz.evl").header.compressed
+        # compressed fast log decodes to the same stream as uncompressed
+        Simulation(pop, cfg).run_fast(log_path=tmp_path / "f.evl")
+        a = LogReader(tmp_path / "fz.evl").read_all()
+        b = LogReader(tmp_path / "f.evl").read_all()
+        assert (a == b).all()
+
+    def test_checkpoint_args_raise(self, pop, tmp_path):
+        cfg = config_for(pop, hours=24)
+        with pytest.raises(SimulationError, match="checkpoint"):
+            Simulation(pop, cfg).run_fast(checkpoint_dir=tmp_path / "c")
+        with pytest.raises(SimulationError, match="checkpoint"):
+            Simulation(pop, cfg).run_fast(resume=True)
+
+
+class TestRecordAccumulator:
+    """The checkpoint path copies each record O(1) amortized times, not
+    once per snapshot."""
+
+    def test_amortized_copies(self):
+        from repro.evlog.schema import empty_records
+        from repro.sim.engine import _RecordAccumulator
+
+        acc = _RecordAccumulator()
+        total = 0
+        chunks = []
+        rng = np.random.default_rng(11)
+        for i in range(50):
+            n = int(rng.integers(1, 200))
+            rec = empty_records(n)
+            rec["person"] = rng.integers(0, 1000, n)
+            rec["start"] = i
+            rec["stop"] = i + 1
+            chunks.append(rec.copy())
+            acc.append(rec)
+            total += n
+            if i % 7 == 0:  # interleave snapshots with appends
+                merged = acc.merged()
+                assert len(merged) == total
+        merged = acc.merged()
+        assert len(acc) == total
+        assert (merged == np.concatenate(chunks)).all()
+        # buffer growth is geometric: far fewer allocations than snapshots
+        assert len(acc._buf) >= total
+
+    def test_checkpointed_run_matches_plain(self, pop, tmp_path):
+        cfg = config_for(pop, hours=72, checkpoint_every_hours=24)
+        plain = Simulation(pop, cfg).run()
+        ckpt = Simulation(pop, cfg).run(checkpoint_dir=tmp_path / "snap")
+        assert ckpt.checkpoints_written == 2
+        assert (plain.records == ckpt.records).all()
