@@ -81,6 +81,12 @@ from .analysis import (
     summarize,
 )
 from .viz import forceatlas2_layout, write_gexf, write_graphml
+from .service import (
+    NetworkQueryService,
+    ServiceClient,
+    ServiceConfig,
+    SyncServiceClient,
+)
 
 __version__ = "1.0.0"
 
@@ -143,4 +149,9 @@ __all__ = [
     "forceatlas2_layout",
     "write_gexf",
     "write_graphml",
+    # service
+    "NetworkQueryService",
+    "ServiceClient",
+    "ServiceConfig",
+    "SyncServiceClient",
 ]

@@ -284,6 +284,105 @@ def _cmd_export_ego(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import NetworkQueryService, ServiceConfig
+
+    pop = load_population(args.population)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        tile_hours=args.tile_hours,
+        cache_budget_nnz=args.budget_nnz,
+        cache_dir=args.cache_dir,
+        dispatch=args.dispatch,
+        strict=args.strict,
+        tenant_budget_nnz=args.tenant_budget_nnz,
+        executor_threads=args.threads,
+        prefetch_tiles=args.prefetch,
+    )
+    service = NetworkQueryService(
+        args.log_dir, pop.n_persons, places=pop.places, config=config
+    )
+
+    async def run() -> None:
+        await service.start()
+        print(
+            f"serving network queries on {config.host}:{service.port} "
+            f"({pop.n_persons:,} persons, logs in {args.log_dir})"
+        )
+        try:
+            await service.wait_stopped()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\ninterrupted; drained and stopped")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .service import SyncServiceClient
+
+    client = SyncServiceClient(
+        host=args.host, port=args.port, tenant=args.tenant,
+        retries=args.retries,
+    )
+    try:
+        op = args.op
+        if op == "ping":
+            print(client.ping())
+        elif op == "stats":
+            stats = client.stats()
+            for key, value in sorted(stats["stats"].items()):
+                print(f"  {key:>18}: {value}")
+            for tenant, usage in sorted(stats.get("tenants", {}).items()):
+                print(f"  tenant {tenant}: {usage}")
+        elif op == "reload":
+            print(client.reload())
+        elif op == "shutdown":
+            print(client.shutdown())
+        elif op == "window":
+            net = client.query_window(args.t0, args.t1)
+            print(
+                f"[{net.t0:>6}, {net.t1:>6}): {net.n_edges:,} edges, "
+                f"{net.total_weight:,} collocated person-pair hours"
+            )
+            if args.out:
+                print(f"wrote {net.save(args.out)}")
+        elif op == "layer":
+            net = client.query_layer(args.kind, args.t0, args.t1)
+            print(
+                f"{args.kind} [{net.t0:>6}, {net.t1:>6}): "
+                f"{net.n_edges:,} edges"
+            )
+            if args.out:
+                print(f"wrote {net.save(args.out)}")
+        elif op == "ego":
+            ego = client.query_ego(args.person, args.t0, args.t1)
+            print(
+                f"ego of person {args.person}: {ego.n_nodes:,} nodes, "
+                f"{ego.n_edges:,} edges"
+            )
+        elif op == "degrees":
+            summary = client.degree_summary(args.t0, args.t1)
+            for key in (
+                "n_vertices", "n_isolated", "n_edges",
+                "mean_degree", "max_degree",
+            ):
+                print(f"  {key:>12}: {summary[key]}")
+        else:  # pragma: no cover - argparse restricts choices
+            raise AssertionError(op)
+    finally:
+        client.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -430,6 +529,74 @@ def build_parser() -> argparse.ArgumentParser:
         "_T0_T1 suffix",
     )
     p.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running network-query service over warm tile caches",
+    )
+    p.add_argument("--log-dir", required=True)
+    p.add_argument("--population", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7227,
+        help="listen port (0 picks an ephemeral port; default: 7227)",
+    )
+    p.add_argument("--tile-hours", type=int, default=24)
+    p.add_argument(
+        "--budget-nnz", type=int, default=None,
+        help="per-cache in-memory tile budget in stored nonzeros",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist tiles under DIR (one subdirectory per cache)",
+    )
+    p.add_argument(
+        "--dispatch", choices=["value", "zero-copy"], default="value",
+    )
+    p.add_argument("--strict", action="store_true")
+    p.add_argument(
+        "--tenant-budget-nnz", type=int, default=None,
+        help="admission control: cap each tenant's estimated in-flight "
+        "result nonzeros; over-budget queries are rejected with a "
+        "retry-after hint",
+    )
+    p.add_argument(
+        "--threads", type=int, default=2,
+        help="executor threads composing windows (default: 2)",
+    )
+    p.add_argument(
+        "--prefetch", type=int, default=1,
+        help="tiles to warm ahead/behind each queried span (0 disables)",
+    )
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "client", help="query a running `repro serve` instance"
+    )
+    p.add_argument(
+        "op",
+        choices=[
+            "ping", "window", "layer", "ego", "degrees", "stats",
+            "reload", "shutdown",
+        ],
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7227)
+    p.add_argument("--tenant", default="cli")
+    p.add_argument("--t0", type=int, default=0)
+    p.add_argument("--t1", type=int, default=HOURS_PER_WEEK)
+    p.add_argument(
+        "--kind", default="home",
+        choices=["home", "school", "workplace", "other"],
+        help="layer op: place kind to query",
+    )
+    p.add_argument("--person", type=int, default=0, help="ego op: center")
+    p.add_argument(
+        "--retries", type=int, default=3,
+        help="automatic retries after admission rejections (default: 3)",
+    )
+    p.add_argument("--out", default=None, help="save the fetched network")
+    p.set_defaults(fn=_cmd_client)
 
     p = sub.add_parser("analyze", help="network statistics and figures")
     p.add_argument("--network", required=True)

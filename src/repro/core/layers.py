@@ -28,11 +28,17 @@ from .network import CollocationNetwork
 from .pipeline import synthesize_network
 
 __all__ = [
+    "LAYER_KINDS",
     "synthesize_layers",
     "synthesize_layers_from_logs",
     "layer_caches",
     "layer_records",
 ]
+
+#: canonical lower-case layer names, in :class:`PlaceKind` order — the
+#: vocabulary shared by layer synthesis, the tile caches, and the
+#: network-query service's ``layer`` op
+LAYER_KINDS: tuple[str, ...] = tuple(kind.name.lower() for kind in PlaceKind)
 
 
 def layer_records(
@@ -89,6 +95,7 @@ def layer_caches(
     pool: WorkerPool | None = None,
     dispatch: str = "value",
     strict: bool = False,
+    kinds: "tuple[str, ...] | list[str] | None" = None,
 ) -> dict:
     """One :class:`~repro.core.tilecache.TileCache` per place kind.
 
@@ -97,12 +104,24 @@ def layer_caches(
     sliding windows reuse per-kind tiles instead of re-filtering records.
     With ``cache_dir``, each kind persists into its own subdirectory.
     ``budget_nnz`` applies per kind.  Close every cache when done.
+
+    ``kinds`` restricts construction to a subset of :data:`LAYER_KINDS`
+    (the query service builds layer caches one kind at a time, on first
+    request); the default builds all four.
     """
     from .tilecache import TileCache
 
+    if kinds is None:
+        kinds = LAYER_KINDS
+    unknown = [k for k in kinds if k not in LAYER_KINDS]
+    if unknown:
+        raise SynthesisError(
+            f"unknown layer kind(s) {unknown}; expected a subset of "
+            f"{list(LAYER_KINDS)}"
+        )
     caches: dict[str, TileCache] = {}
-    for kind in PlaceKind:
-        name = kind.name.lower()
+    for name in kinds:
+        kind = PlaceKind[name.upper()]
         caches[name] = TileCache(
             log_dir,
             n_persons,

@@ -708,8 +708,11 @@ def synthesize_from_logs(
         composable tiles — bit-identical to the direct interval-kernel
         synthesis, O(log W) cached partials instead of a record re-read —
         and the batching arguments are unused.  Incompatible with
-        ``checkpoint``/``resume`` (the cache *is* the persistent state)
-        and with the dense-hours kernel.
+        ``checkpoint``/``resume`` (the cache *is* the persistent state),
+        with the dense-hours kernel, and with ``strict=True`` when the
+        cache already quarantined damaged files.  The cache path is
+        thread-safe: concurrent callers may share one cache (the
+        network-query service does).
     """
     _check_kernel(kernel)
     _check_dispatch(dispatch)
@@ -726,6 +729,14 @@ def synthesize_from_logs(
         if cache.n_persons != n_persons:
             raise SynthesisError(
                 f"cache population {cache.n_persons} != requested {n_persons}"
+            )
+        if strict and cache.quarantined:
+            # a non-strict cache silently skips damaged files; honoring
+            # strict= here would return a network the caller believes is
+            # complete when it is not
+            raise SynthesisError(
+                "strict=True but the cache quarantined damaged log "
+                f"file(s): {', '.join(cache.quarantined)}"
             )
         report = SynthesisReport(
             n_workers=cache.pool.n_workers,

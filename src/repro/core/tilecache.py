@@ -51,6 +51,20 @@ Tile construction runs through the existing
 tile, batched per query — and under ``dispatch="zero-copy"`` ships
 :class:`~repro.evlog.reader.SliceDescriptor` byte ranges so workers mmap
 and decode the chunks themselves, exactly like the batch pipeline.
+
+Concurrency
+-----------
+A cache may be shared by concurrent reader threads (the network-query
+service runs queries from an executor).  All cache state — the LRU dict
+and its nnz accounting, the fringe partials, the mmap reader table, the
+persisted-store manifest, and the stats counters — is guarded by one
+reentrant lock, held while a query plans its cover and acquires (or
+builds) every partial it needs.  The final composition runs *outside*
+the lock on the acquired references: cached matrices are immutable, and
+:func:`_sum_parts` never aliases its inputs, so a tile evicted by a
+racing query stays valid for the composition that already holds it.
+Eviction, warm-up, persistence, and ``close()`` all take the same lock,
+which is what makes LRU bookkeeping safe while queries race.
 """
 
 from __future__ import annotations
@@ -58,6 +72,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -66,7 +81,7 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from .._util import StageTimings, atomic_write_bytes
+from .._util import StageTimings, Timer, atomic_write_bytes
 from ..errors import SynthesisError, TileCacheError
 from ..evlog.multifile import LogSet
 from ..evlog.reader import LogReader, SliceDescriptor, read_slice_descriptor
@@ -309,6 +324,10 @@ class TileCache:
         self.digest = self._config_digest()
         self._own_pool = pool is None
         self.pool = pool or SerialPool()
+        #: one reentrant lock guards all mutable cache state (LRU dict,
+        #: nnz accounting, readers, persisted manifest, stats); immutable
+        #: cached matrices are composed outside it — see module docstring
+        self._lock = threading.RLock()
         self._readers: dict[Path, LogReader] = {}
         #: LRU over tree nodes ``(level, idx)`` and fringe partials
         #: ``("F", w0, w1)`` — one nnz budget governs both
@@ -573,20 +592,21 @@ class TileCache:
         large-window queries hit cached upper levels too.  Returns the
         number of base tiles built.
         """
-        self._check_open()
         if t1 <= t0:
             raise TileCacheError(f"empty warm span [{t0}, {t1})")
-        T = self.tile_hours
-        a0, a1 = t0 // T, -(-t1 // T)
-        built_before = self.stats.tiles_built
-        cover = self._cover(a0, a1)
-        missing: list[int] = []
-        for level, idx in cover:
-            self._collect_missing_base(level, idx, missing)
-        self._materialize_base(missing)
-        for level, idx in cover:
-            self._get_tile(level, idx)
-        return self.stats.tiles_built - built_before
+        with self._lock:
+            self._check_open()
+            T = self.tile_hours
+            a0, a1 = t0 // T, -(-t1 // T)
+            built_before = self.stats.tiles_built
+            cover = self._cover(a0, a1)
+            missing: list[int] = []
+            for level, idx in cover:
+                self._collect_missing_base(level, idx, missing)
+            self._materialize_base(missing)
+            for level, idx in cover:
+                self._get_tile(level, idx)
+            return self.stats.tiles_built - built_before
 
     def query_window(self, t0: int, t1: int) -> CollocationNetwork:
         """The collocation network of ``[t0, t1)``, composed from tiles.
@@ -598,66 +618,91 @@ class TileCache:
         spans only, and those fringe partials are themselves cached so a
         repeated query touches no records.
         """
-        self._check_open()
         if t1 <= t0:
             raise TileCacheError(f"empty query window [{t0}, {t1})")
         if t0 < 0:
             raise TileCacheError("query windows start at hour 0")
-        T = self.tile_hours
-        a0, a1 = -(-t0 // T), t1 // T
-        plan: list[tuple] = []
-        if a0 >= a1:
-            # no whole tile inside the window: a single fringe covers it
-            plan.append(("fringe", t0, t1))
-        else:
-            if t0 < a0 * T:
-                plan.append(("fringe", t0, a0 * T))
-            plan.extend(("tile", level, idx) for level, idx in self._cover(a0, a1))
-            if a1 * T < t1:
-                plan.append(("fringe", a1 * T, t1))
-
-        missing: list[int] = []
-        fringe_parts: dict[tuple[int, int], sp.csr_matrix] = {}
-        to_build: list[tuple[int, int]] = []
-        for entry in plan:
-            if entry[0] == "tile":
-                self._collect_missing_base(entry[1], entry[2], missing)
-                continue
-            window = (entry[1], entry[2])
-            cached = self._tiles.get(("F", *window))
-            if cached is not None:
-                self._tiles.move_to_end(("F", *window))
-                self.stats.fringe_hits += 1
-                fringe_parts[window] = cached
+        with self._lock:
+            self._check_open()
+            T = self.tile_hours
+            a0, a1 = -(-t0 // T), t1 // T
+            plan: list[tuple] = []
+            if a0 >= a1:
+                # no whole tile inside the window: one fringe covers it
+                plan.append(("fringe", t0, t1))
             else:
-                to_build.append(window)
-        self._materialize_base(missing)
-        for window, mat in zip(to_build, self._build_windows(to_build)):
-            fringe_parts[window] = mat
-            self._insert(("F", *window), mat)
-        self.stats.fringe_hours += sum(w1 - w0 for w0, w1 in to_build)
+                if t0 < a0 * T:
+                    plan.append(("fringe", t0, a0 * T))
+                plan.extend(
+                    ("tile", level, idx) for level, idx in self._cover(a0, a1)
+                )
+                if a1 * T < t1:
+                    plan.append(("fringe", a1 * T, t1))
 
-        parts: list[sp.csr_matrix] = []
-        for entry in plan:
-            if entry[0] == "tile":
-                parts.append(self._get_tile(entry[1], entry[2]))
-            else:
-                parts.append(fringe_parts[(entry[1], entry[2])])
-        with self.stats.timings.time("reduce"):
+            missing: list[int] = []
+            fringe_parts: dict[tuple[int, int], sp.csr_matrix] = {}
+            to_build: list[tuple[int, int]] = []
+            for entry in plan:
+                if entry[0] == "tile":
+                    self._collect_missing_base(entry[1], entry[2], missing)
+                    continue
+                window = (entry[1], entry[2])
+                cached = self._tiles.get(("F", *window))
+                if cached is not None:
+                    self._tiles.move_to_end(("F", *window))
+                    self.stats.fringe_hits += 1
+                    fringe_parts[window] = cached
+                else:
+                    to_build.append(window)
+            self._materialize_base(missing)
+            for window, mat in zip(to_build, self._build_windows(to_build)):
+                fringe_parts[window] = mat
+                self._insert(("F", *window), mat)
+            self.stats.fringe_hours += sum(w1 - w0 for w0, w1 in to_build)
+
+            parts: list[sp.csr_matrix] = []
+            for entry in plan:
+                if entry[0] == "tile":
+                    parts.append(self._get_tile(entry[1], entry[2]))
+                else:
+                    parts.append(fringe_parts[(entry[1], entry[2])])
+            self.stats.queries += 1
+
+        # compose outside the lock: every part is an immutable matrix this
+        # thread holds a reference to, so racing evictions cannot hurt it
+        with Timer() as timer:
             adjacency = _sum_parts(parts, self.n_persons)
-        self.stats.queries += 1
+        with self._lock:
+            self.stats.timings.add("reduce", timer.elapsed)
         return CollocationNetwork(adjacency, t0=int(t0), t1=int(t1))
 
+    def horizon(self) -> int:
+        """Last simulation hour any usable log record reaches (chunk-index
+        metadata only — no record decode).  0 with no records."""
+        with self._lock:
+            self._check_open()
+            t_max = 0
+            for path in self.paths:
+                for chunk in self._reader(path).chunks:
+                    t_max = max(t_max, int(chunk.t_max))
+            return t_max
+
     def close(self) -> None:
-        """Release mmapped readers and the owned pool (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        for reader in self._readers.values():
-            reader.close()
-        self._readers.clear()
-        if self._own_pool:
-            self.pool.close()
+        """Release mmapped readers and the owned pool (idempotent).
+
+        Takes the cache lock, so a close never yanks readers out from
+        under a query that is still acquiring tiles; compositions already
+        past acquisition only touch in-memory matrices and finish safely.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for reader in self._readers.values():
+                reader.close()
+            self._readers.clear()
+            if self._own_pool:
+                self.pool.close()
 
     def _check_open(self) -> None:
         if self._closed:

@@ -24,6 +24,9 @@ __all__ = [
     "LogCorruptError",
     "SynthesisError",
     "TileCacheError",
+    "ServiceError",
+    "FrameError",
+    "AdmissionError",
     "AnalysisError",
     "FitError",
     "LayoutError",
@@ -115,6 +118,41 @@ class SynthesisError(ReproError):
 
 class TileCacheError(SynthesisError):
     """The temporal tile cache was misused or its store is unusable."""
+
+
+class ServiceError(ReproError):
+    """The network-query service failed a request or was misused.
+
+    ``code`` is the wire-protocol error code (``bad-request``,
+    ``admission``, ``internal``, ``shutting-down``, ``malformed``) so
+    clients can branch without parsing the message text.
+    """
+
+    def __init__(self, message: str, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class FrameError(ServiceError):
+    """A wire frame is malformed (bad length prefix, oversized, not JSON).
+
+    The stream cannot be resynchronized past a broken frame, so the
+    server answers once with ``code="malformed"`` and closes the
+    connection."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="malformed")
+
+
+class AdmissionError(ServiceError):
+    """A query was rejected by per-tenant admission control.
+
+    ``retry_after`` is the server's suggested back-off in seconds; the
+    request was *not* executed and can be retried verbatim."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message, code="admission")
+        self.retry_after = float(retry_after)
 
 
 class AnalysisError(ReproError):

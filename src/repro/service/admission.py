@@ -1,0 +1,137 @@
+"""Per-tenant admission control for the network-query service.
+
+The service's failure mode under unconstrained concurrent load is memory:
+every admitted query materializes a composed CSR whose size is roughly
+proportional to its window length, and a burst of wide-window queries
+from one client can OOM the process for everyone.  Admission control
+turns that into a polite, *retryable* rejection instead: each tenant has
+a budget of estimated in-flight nonzeros, a query is charged an estimate
+up front and released when its response has been written, and a query
+that would overflow its tenant's budget is rejected with a suggested
+``retry_after`` — never executed, never queued.
+
+The charge is ``max(1, density × window_hours)`` where ``density`` is a
+running *maximum* of observed result-nnz per window hour (conservative:
+admission must err toward rejecting, since the alternative is an OOM
+kill that takes down every tenant).  Before any query completes, the
+configurable ``assume_nnz_per_hour`` prior applies; with the default 0
+prior each query costs 1, which degrades admission to a per-tenant
+concurrency cap until real densities are learned.
+
+Budgets are strictly per tenant: one tenant's admitted, in-flight, or
+rejected queries never change another tenant's headroom (the
+concurrency suite asserts this).  All bookkeeping happens on the event
+loop thread, so no locking is needed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AdmissionError
+
+__all__ = ["AdmissionController", "TenantUsage"]
+
+
+@dataclass
+class TenantUsage:
+    """One tenant's live admission ledger."""
+
+    in_flight_nnz: float = 0.0
+    in_flight_queries: int = 0
+    admitted: int = 0
+    rejected: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "in_flight_nnz": round(self.in_flight_nnz, 1),
+            "in_flight_queries": self.in_flight_queries,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }
+
+
+@dataclass
+class AdmissionController:
+    """Charge/release ledger with a learned nnz-per-hour density.
+
+    Parameters
+    ----------
+    budget_nnz:
+        Per-tenant ceiling on estimated in-flight nonzeros; ``None``
+        admits everything (the ledger still tracks usage for ``stats``).
+    retry_after:
+        Suggested client back-off carried by rejections, seconds.
+    assume_nnz_per_hour:
+        Density prior used until completed queries establish a real one.
+    """
+
+    budget_nnz: float | None = None
+    retry_after: float = 0.05
+    assume_nnz_per_hour: float = 0.0
+    tenants: dict[str, TenantUsage] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._density = float(self.assume_nnz_per_hour)
+
+    @property
+    def density(self) -> float:
+        """Current estimate of result nonzeros per window hour."""
+        return self._density
+
+    def estimate(self, hours: int) -> float:
+        """Conservative nnz cost of a query spanning ``hours``."""
+        return max(1.0, self._density * max(int(hours), 0))
+
+    def admit(self, tenant: str, hours: int) -> float:
+        """Charge ``tenant`` for one query, or reject it.
+
+        Returns the charged cost (pass it back to :meth:`release`);
+        raises :class:`AdmissionError` if the tenant's budget cannot
+        cover it.  A single query wider than the whole budget is still
+        admitted when the tenant is otherwise idle — otherwise it could
+        never run at all.
+        """
+        usage = self.tenants.setdefault(tenant, TenantUsage())
+        cost = self.estimate(hours)
+        if (
+            self.budget_nnz is not None
+            and usage.in_flight_queries > 0
+            and usage.in_flight_nnz + cost > self.budget_nnz
+        ):
+            usage.rejected += 1
+            raise AdmissionError(
+                f"tenant {tenant!r} over budget: in flight "
+                f"{usage.in_flight_nnz:.0f} nnz + estimated {cost:.0f} > "
+                f"{self.budget_nnz:.0f}",
+                retry_after=self.retry_after,
+            )
+        usage.in_flight_nnz += cost
+        usage.in_flight_queries += 1
+        usage.admitted += 1
+        return cost
+
+    def release(self, tenant: str, cost: float) -> None:
+        """Return a previously charged cost to the tenant's budget."""
+        usage = self.tenants[tenant]
+        usage.in_flight_nnz = max(0.0, usage.in_flight_nnz - cost)
+        usage.in_flight_queries = max(0, usage.in_flight_queries - 1)
+
+    def observe(self, hours: int, nnz: int) -> None:
+        """Fold one completed query's actual size into the density.
+
+        The estimate only ratchets up — admission stays conservative
+        even if later windows happen to be sparse.
+        """
+        if hours > 0:
+            self._density = max(self._density, nnz / hours)
+
+    def snapshot(self) -> dict:
+        return {
+            "budget_nnz": self.budget_nnz,
+            "density_nnz_per_hour": round(self._density, 2),
+            "tenants": {
+                name: usage.snapshot()
+                for name, usage in sorted(self.tenants.items())
+            },
+        }

@@ -1,0 +1,263 @@
+"""Clients for the network-query service.
+
+:class:`ServiceClient` is the asyncio client used by the concurrency
+tests and the load-generator benchmark: one TCP connection, sequential
+request/response (pipelining is the protocol's job, concurrency is the
+caller's — open several clients for parallel load).  Admission
+rejections surface as :class:`~repro.errors.AdmissionError` carrying the
+server's ``retry_after``; ``retries`` turns them into bounded
+sleep-and-retry loops instead.
+
+:class:`SyncServiceClient` wraps it in a private event loop for the CLI
+and scripts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.network import CollocationNetwork
+from ..errors import AdmissionError, ServiceError
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME,
+    decode_csr,
+    decode_network,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["ServiceClient", "SyncServiceClient", "EgoResult"]
+
+
+class EgoResult:
+    """Decoded ``ego`` response: symmetric CSR + global person ids."""
+
+    def __init__(
+        self,
+        center: int,
+        persons: np.ndarray,
+        matrix: sp.csr_matrix,
+        radius: int,
+        t0: int,
+        t1: int,
+    ) -> None:
+        self.center = center
+        self.persons = persons
+        self.matrix = matrix
+        self.radius = radius
+        self.t0 = t0
+        self.t1 = t1
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.persons)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.matrix.nnz // 2)
+
+
+class ServiceClient:
+    """One connection to a :class:`NetworkQueryService`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    tenant:
+        Admission-control identity sent with every query.
+    retries:
+        Extra attempts after an admission rejection; each sleeps the
+        server-suggested ``retry_after`` first.  0 surfaces the first
+        rejection as :class:`AdmissionError`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        tenant: str = "anon",
+        retries: int = 0,
+        max_frame: int = MAX_FRAME,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.retries = int(retries)
+        self.max_frame = max_frame
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 0
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    # -- request core ---------------------------------------------------------
+
+    async def request(self, op: str, **params: Any) -> tuple[dict, bytes]:
+        """One raw request/response; raises mapped service errors."""
+        if self._writer is None or self._reader is None:
+            raise ServiceError("client is not connected", code="internal")
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            self._next_id += 1
+            header = {
+                "op": op,
+                "id": self._next_id,
+                "tenant": self.tenant,
+                **params,
+            }
+            write_frame(self._writer, header)
+            await self._writer.drain()
+            resp, blob = await read_frame(self._reader, self.max_frame)
+            if resp.get("ok"):
+                if resp.get("id") != header["id"]:
+                    raise ServiceError(
+                        f"response id {resp.get('id')!r} != request id "
+                        f"{header['id']!r}",
+                        code="internal",
+                    )
+                return resp, blob
+            code = resp.get("code", "internal")
+            message = resp.get("error", "service error")
+            if code == "admission":
+                retry_after = float(resp.get("retry_after", 0.05))
+                if attempt + 1 < attempts:
+                    await asyncio.sleep(retry_after)
+                    continue
+                raise AdmissionError(message, retry_after=retry_after)
+            raise ServiceError(message, code=code)
+        raise AssertionError("unreachable")
+
+    # -- typed queries --------------------------------------------------------
+
+    async def ping(self) -> dict:
+        resp, _ = await self.request("ping")
+        return resp
+
+    async def query_window(self, t0: int, t1: int) -> CollocationNetwork:
+        """The full network of ``[t0, t1)``, bit-identical to a direct
+        interval-kernel synthesis of the same window."""
+        _resp, blob = await self.request("window", t0=t0, t1=t1)
+        return decode_network(blob)
+
+    async def query_layer(
+        self, kind: str, t0: int, t1: int
+    ) -> CollocationNetwork:
+        """One place-kind layer's network of ``[t0, t1)``."""
+        _resp, blob = await self.request("layer", kind=kind, t0=t0, t1=t1)
+        return decode_network(blob)
+
+    async def query_ego(
+        self, person: int, t0: int, t1: int, radius: int | None = None
+    ) -> EgoResult:
+        """The induced ego subgraph around ``person`` over ``[t0, t1)``."""
+        params: dict[str, Any] = {"person": person, "t0": t0, "t1": t1}
+        if radius is not None:
+            params["radius"] = radius
+        resp, blob = await self.request("ego", **params)
+        matrix, extra = decode_csr(blob)
+        return EgoResult(
+            center=int(extra["center"][0]),
+            persons=extra["persons"],
+            matrix=matrix,
+            radius=int(extra["radius"][0]),
+            t0=resp["t0"],
+            t1=resp["t1"],
+        )
+
+    async def degree_summary(
+        self, t0: int, t1: int, kind: str | None = None
+    ) -> dict:
+        """Degree summary + histogram of ``[t0, t1)`` (optionally one
+        layer)."""
+        params: dict[str, Any] = {"t0": t0, "t1": t1}
+        if kind is not None:
+            params["kind"] = kind
+        resp, _ = await self.request("degrees", **params)
+        return resp
+
+    async def stats(self) -> dict:
+        resp, _ = await self.request("stats")
+        return resp
+
+    async def reload(self) -> dict:
+        resp, _ = await self.request("reload")
+        return resp
+
+    async def shutdown(self) -> dict:
+        resp, _ = await self.request("shutdown")
+        return resp
+
+
+class SyncServiceClient:
+    """Blocking facade over :class:`ServiceClient` (CLI / scripts).
+
+    Owns a private event loop; every call connects lazily and runs one
+    request to completion.  Not for concurrent use — open real
+    :class:`ServiceClient` connections for load.
+    """
+
+    def __init__(self, **kwargs: Any) -> None:
+        self._kwargs = kwargs
+        self._loop = asyncio.new_event_loop()
+        self._client: ServiceClient | None = None
+
+    def _run(self, coro):
+        return self._loop.run_until_complete(coro)
+
+    def _ensure(self) -> ServiceClient:
+        if self._client is None:
+            client = ServiceClient(**self._kwargs)
+            self._run(client.connect())
+            self._client = client
+        return self._client
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._run(self._client.close())
+            self._client = None
+        if not self._loop.is_closed():
+            self._loop.close()
+
+    def __enter__(self) -> "SyncServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __getattr__(self, name: str):
+        """Expose every async query method synchronously."""
+        target = getattr(ServiceClient, name, None)
+        if target is None or name.startswith("_"):
+            raise AttributeError(name)
+
+        def call(*args: Any, **kwargs: Any):
+            client = self._ensure()
+            return self._run(getattr(client, name)(*args, **kwargs))
+
+        return call

@@ -1,0 +1,166 @@
+"""Wire protocol for the network-query service: length-prefixed JSON frames.
+
+One frame is::
+
+    +----------------+---------------------+----------------------+
+    | 4-byte big-    | JSON header         | optional binary blob |
+    | endian length  | (``length`` bytes)  | (``blob_len`` bytes) |
+    +----------------+---------------------+----------------------+
+
+The header is a JSON object; when it carries ``blob_len > 0``, exactly
+that many raw bytes follow (responses use the blob to ship CSR matrices
+as uncompressed ``.npz`` archives — zero re-encoding on either side,
+:func:`encode_network`/:func:`decode_network` round-trip bit-identically).
+Requests are pure JSON.
+
+Length-prefixed framing (rather than HTTP) keeps the hot path to two
+``readexactly`` calls per message and makes malformed input *detectable*:
+a length prefix outside ``(0, max_frame]`` or a non-JSON header raises
+:class:`~repro.errors.FrameError`, and because a broken frame loses the
+stream's phase, the server answers once and closes that connection.
+
+Requests
+--------
+``{"op": ..., "id": ..., "tenant": ..., **params}`` — ``id`` is echoed
+verbatim in the response so clients can pipeline requests; ``tenant``
+(default ``"anon"``) selects the admission-control ledger.  Ops:
+
+========== ===========================================================
+``ping``     liveness probe
+``window``   ``t0, t1`` → full-network CSR for the window (blob)
+``layer``    ``kind, t0, t1`` → one place-kind layer's CSR (blob)
+``ego``      ``person, t0, t1 [, radius]`` → induced ego subgraph (blob)
+``degrees``  ``t0, t1 [, kind]`` → degree summary + histogram (JSON)
+``stats``    server + cache counters (JSON)
+``reload``   re-open caches against the current log bytes (admin)
+``shutdown`` begin graceful drain (admin)
+========== ===========================================================
+
+Responses
+---------
+``{"id", "ok": true, ...}`` on success.  On failure ``ok`` is false and
+``error`` / ``code`` describe why; ``code="admission"`` additionally
+carries ``retry_after`` (seconds) and means the query was not executed
+and may be retried verbatim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.network import CollocationNetwork
+from ..errors import FrameError
+
+__all__ = [
+    "MAX_FRAME",
+    "DEFAULT_PORT",
+    "read_frame",
+    "write_frame",
+    "encode_network",
+    "decode_network",
+    "encode_csr",
+    "decode_csr",
+]
+
+#: default cap on one frame's header *and* blob size (64 MiB each)
+MAX_FRAME = 64 << 20
+DEFAULT_PORT = 7227
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME
+) -> tuple[dict, bytes]:
+    """Read one ``(header, blob)`` frame.
+
+    Raises :class:`FrameError` on a malformed frame (bad length, bad
+    JSON, non-object header, bad ``blob_len``) and lets
+    ``asyncio.IncompleteReadError`` / connection errors propagate for a
+    peer that simply went away.
+    """
+    head = await reader.readexactly(4)
+    length = int.from_bytes(head, "big")
+    if not 0 < length <= max_frame:
+        raise FrameError(
+            f"frame length {length} outside (0, {max_frame}]"
+        )
+    payload = await reader.readexactly(length)
+    try:
+        header = json.loads(payload)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame header is not JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise FrameError("frame header must be a JSON object")
+    blob_len = header.get("blob_len", 0)
+    if not isinstance(blob_len, int) or not 0 <= blob_len <= max_frame:
+        raise FrameError(f"bad blob_len {blob_len!r}")
+    blob = await reader.readexactly(blob_len) if blob_len else b""
+    return header, blob
+
+
+def write_frame(
+    writer: asyncio.StreamWriter, header: dict, blob: bytes = b""
+) -> None:
+    """Queue one frame on the writer (caller awaits ``drain()``)."""
+    if blob:
+        header = dict(header, blob_len=len(blob))
+    payload = json.dumps(header, separators=(",", ":")).encode()
+    writer.write(len(payload).to_bytes(4, "big") + payload + blob)
+
+
+def encode_csr(mat: sp.csr_matrix, **extra: np.ndarray) -> bytes:
+    """Uncompressed ``.npz`` bytes of a CSR triple (+ named extras)."""
+    buf = io.BytesIO()
+    np.savez(
+        buf,
+        data=mat.data,
+        indices=mat.indices,
+        indptr=mat.indptr,
+        shape=np.array(mat.shape, dtype=np.int64),
+        **extra,
+    )
+    return buf.getvalue()
+
+
+def decode_csr(blob: bytes) -> tuple[sp.csr_matrix, dict[str, np.ndarray]]:
+    """Inverse of :func:`encode_csr`; extras returned by name."""
+    with np.load(io.BytesIO(blob)) as z:
+        mat = sp.csr_matrix(
+            (z["data"], z["indices"], z["indptr"]), shape=tuple(z["shape"])
+        )
+        extra = {
+            k: z[k] for k in z.files
+            if k not in ("data", "indices", "indptr", "shape")
+        }
+    return mat, extra
+
+
+def encode_network(net: CollocationNetwork) -> bytes:
+    """A :class:`CollocationNetwork` as npz bytes (window included)."""
+    return encode_csr(
+        net.adjacency, window=np.array([net.t0, net.t1], dtype=np.int64)
+    )
+
+
+def decode_network(blob: bytes) -> CollocationNetwork:
+    """Bit-identical inverse of :func:`encode_network`."""
+    mat, extra = decode_csr(blob)
+    t0, t1 = (int(v) for v in extra["window"])
+    return CollocationNetwork(mat, t0=t0, t1=t1)
+
+
+def error_response(
+    request_id: Any, message: str, code: str, **extra: Any
+) -> dict:
+    """A failure response header echoing the request id."""
+    return {"id": request_id, "ok": False, "error": message, "code": code, **extra}
+
+
+def ok_response(request_id: Any, **fields: Any) -> dict:
+    """A success response header echoing the request id."""
+    return {"id": request_id, "ok": True, **fields}

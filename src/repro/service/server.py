@@ -1,0 +1,777 @@
+"""Async multi-tenant network-query service over warm tile caches.
+
+This is the long-lived front end that turns the batch synthesis pipeline
+into infrastructure: one process owns warm
+:class:`~repro.core.tilecache.TileCache` instances (the full network plus
+lazily created per-place-kind layer caches) and serves concurrent window,
+layer, ego-subgraph, and degree-summary queries from many clients over
+the length-prefixed frame protocol in :mod:`repro.service.protocol`.
+
+Architecture
+------------
+* **One event loop, a small executor.**  Connections, framing, admission,
+  and coalescing run on the asyncio loop; compositions and blob encoding
+  run in a bounded thread pool.  The tile caches are thread-safe (one
+  lock over cache state, composition outside it), so executor threads
+  share them directly — no per-query cache, no copies.
+* **Request coalescing.**  Identical in-flight compositions are shared:
+  the first request for a ``(cache, t0, t1)`` key becomes the *leader*
+  and runs the composition; followers await the leader's future and get
+  the same immutable :class:`CollocationNetwork` object.  ``ego`` and
+  ``degrees`` requests coalesce with plain ``window`` requests for the
+  same window, since they derive from the same composition.
+* **Admission control.**  Every query charges its tenant's
+  :class:`~repro.service.admission.AdmissionController` ledger before
+  any work happens and releases after its response blob is encoded; an
+  over-budget query is rejected with ``retry_after`` instead of growing
+  the heap.  Budgets are strictly per tenant.
+* **Background prefetch.**  After each window query the aligned tile
+  span, extended ``prefetch_tiles`` base tiles fore and aft (clamped to
+  the log horizon), is queued for background warming — sliding-window
+  workloads find their next tile already built.
+* **Graceful drain.**  ``stop()`` refuses new work (``shutting-down``
+  rejections), stops accepting connections, waits for in-flight
+  requests to finish writing (bounded by ``drain_timeout``), then closes
+  caches and the executor.
+* **Reload.**  The ``reload`` op re-opens every cache against the
+  current log bytes (new content digest).  In-flight queries keep a
+  reference to the cache they started on and finish consistently; the
+  retired cache is closed once its last query completes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..analysis.degree import degree_distribution
+from ..analysis.ego import ego_network
+from ..core.layers import LAYER_KINDS, layer_caches
+from ..core.tilecache import TileCache
+from ..errors import AdmissionError, FrameError, ReproError, ServiceError
+from ..synthpop.places import PlaceTable
+from .admission import AdmissionController
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME,
+    encode_csr,
+    encode_network,
+    error_response,
+    ok_response,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["ServiceConfig", "ServiceStats", "NetworkQueryService"]
+
+#: handle key for the full (all place kinds) network cache
+_FULL = "full"
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`NetworkQueryService`."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (read it from ``service.port``)
+    port: int = DEFAULT_PORT
+    tile_hours: int = 24
+    #: per-cache in-memory LRU budget (stored nonzeros); None = unbounded
+    cache_budget_nnz: int | None = None
+    #: directory for persisted tiles (one subdirectory per cache)
+    cache_dir: str | Path | None = None
+    dispatch: str = "value"
+    strict: bool = False
+    #: per-tenant admission budget in estimated in-flight nnz; None admits all
+    tenant_budget_nnz: float | None = None
+    #: back-off hint carried by admission rejections, seconds
+    retry_after: float = 0.05
+    #: admission density prior until completed queries establish one
+    assume_nnz_per_hour: float = 0.0
+    #: composition/encode thread pool size
+    executor_threads: int = 2
+    #: base tiles warmed ahead/behind each queried span; 0 disables prefetch
+    prefetch_tiles: int = 1
+    max_frame: int = MAX_FRAME
+    #: seconds stop() waits for in-flight requests before force-closing
+    drain_timeout: float = 10.0
+    #: default ego-subgraph BFS radius (the paper's figures use 2)
+    ego_radius: int = 2
+
+
+@dataclass
+class ServiceStats:
+    """Event-loop-owned counters (mutated on the loop thread only)."""
+
+    connections: int = 0
+    requests: int = 0
+    #: network-producing queries (window / layer / ego / degrees)
+    queries: int = 0
+    #: compositions actually executed (coalescing leaders)
+    compositions: int = 0
+    #: queries that shared an in-flight leader's composition
+    coalesced: int = 0
+    #: admission-control rejections
+    rejections: int = 0
+    #: malformed frames (connection closed after each)
+    malformed: int = 0
+    #: client connections that vanished mid-request/response
+    disconnects: int = 0
+    #: unexpected internal errors answered with code="internal"
+    errors: int = 0
+    #: base tiles built by the background prefetcher
+    prefetched_tiles: int = 0
+    reloads: int = 0
+
+    def snapshot(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+class _CacheHandle:
+    """One tile cache plus the loop-side state that rides along with it.
+
+    ``refs`` counts in-flight uses (queries and prefetches).  After a
+    reload retires a handle, the cache is closed exactly when the last
+    reference drops — never under a live query.
+    """
+
+    __slots__ = ("cache", "horizon", "refs", "retired", "inflight", "prefetched")
+
+    def __init__(self, cache: TileCache, horizon: int) -> None:
+        self.cache = cache
+        self.horizon = horizon
+        self.refs = 0
+        self.retired = False
+        #: in-flight coalescing futures keyed by ``(t0, t1)``
+        self.inflight: dict[tuple[int, int], asyncio.Future] = {}
+        #: base-tile indices already queued for prefetch
+        self.prefetched: set[int] = set()
+
+
+def _require_int(header: dict, name: str, minimum: int | None = None) -> int:
+    value = header.get(name)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(f"{name!r} must be an integer", code="bad-request")
+    if minimum is not None and value < minimum:
+        raise ServiceError(
+            f"{name!r} must be >= {minimum}, got {value}", code="bad-request"
+        )
+    return value
+
+
+def _window_params(header: dict) -> tuple[int, int]:
+    t0 = _require_int(header, "t0", minimum=0)
+    t1 = _require_int(header, "t1")
+    if t1 <= t0:
+        raise ServiceError(
+            f"empty query window [{t0}, {t1})", code="bad-request"
+        )
+    return t0, t1
+
+
+class NetworkQueryService:
+    """Serve network queries over a log directory to many clients.
+
+    Parameters
+    ----------
+    log_dir:
+        Per-rank EVL directory the caches are built over.
+    n_persons:
+        Population size (matrix dimension).
+    places:
+        Optional :class:`PlaceTable`; required only for ``layer`` queries
+        (and ``degrees`` restricted to a kind).
+    config:
+        :class:`ServiceConfig` tunables.
+
+    Usage::
+
+        service = NetworkQueryService(log_dir, pop.n_persons,
+                                      places=pop.places)
+        async with service:           # binds, starts serving
+            ...                       # service.port is the bound port
+        # stop() drains and closes on exit
+    """
+
+    def __init__(
+        self,
+        log_dir: str | Path,
+        n_persons: int,
+        places: PlaceTable | None = None,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.log_dir = Path(log_dir)
+        self.n_persons = int(n_persons)
+        self.places = places
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self.admission = AdmissionController(
+            budget_nnz=self.config.tenant_budget_nnz,
+            retry_after=self.config.retry_after,
+            assume_nnz_per_hour=self.config.assume_nnz_per_hour,
+        )
+        self._handles: dict[str, _CacheHandle] = {}
+        self._handle_futures: dict[str, asyncio.Future] = {}
+        self._retired: list[_CacheHandle] = []
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._started = False
+        self._prefetch_task: asyncio.Task | None = None
+        self._prefetch_queue: asyncio.Queue | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise ServiceError("service is not started", code="internal")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "NetworkQueryService":
+        """Open the full-network cache and begin accepting connections."""
+        if self._started:
+            raise ServiceError("service already started", code="internal")
+        self._started = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads,
+            thread_name_prefix="repro-service",
+        )
+        await self._get_handle(_FULL)  # fail fast on an unusable log dir
+        self._prefetch_queue = asyncio.Queue()
+        if self.config.prefetch_tiles > 0:
+            self._prefetch_task = asyncio.create_task(self._prefetch_worker())
+        self._server = await asyncio.start_server(
+            self._handle_conn, host=self.config.host, port=self.config.port
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Drain in-flight requests, then close everything (idempotent)."""
+        if self._stopped.is_set():
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        while self._inflight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        if self._prefetch_task is not None:
+            self._prefetch_task.cancel()
+            try:
+                await self._prefetch_task
+            except asyncio.CancelledError:
+                pass
+            self._prefetch_task = None
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        for handle in list(self._handles.values()) + self._retired:
+            handle.retired = True
+            handle.cache.close()
+        self._handles.clear()
+        self._retired.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` has completed (CLI serve loop)."""
+        await self._stopped.wait()
+
+    async def prefetch_idle(self) -> None:
+        """Wait until the background prefetcher has drained its queue."""
+        if self._prefetch_queue is not None:
+            await self._prefetch_queue.join()
+
+    async def __aenter__(self) -> "NetworkQueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # -- cache handles --------------------------------------------------------
+
+    def _build_handle_sync(self, key: str) -> _CacheHandle:
+        """Executor side of cache construction (reads every log byte)."""
+        cfg = self.config
+        if key == _FULL:
+            cache = TileCache(
+                self.log_dir,
+                self.n_persons,
+                tile_hours=cfg.tile_hours,
+                budget_nnz=cfg.cache_budget_nnz,
+                cache_dir=(
+                    Path(cfg.cache_dir) / key
+                    if cfg.cache_dir is not None
+                    else None
+                ),
+                dispatch=cfg.dispatch,
+                strict=cfg.strict,
+            )
+        else:
+            assert self.places is not None
+            cache = layer_caches(
+                self.log_dir,
+                self.places,
+                self.n_persons,
+                tile_hours=cfg.tile_hours,
+                budget_nnz=cfg.cache_budget_nnz,
+                cache_dir=cfg.cache_dir,
+                dispatch=cfg.dispatch,
+                strict=cfg.strict,
+                kinds=[key],
+            )[key]
+        return _CacheHandle(cache, horizon=cache.horizon())
+
+    async def _get_handle(self, key: str) -> _CacheHandle:
+        """The live handle for ``key``, building its cache at most once
+        even under concurrent first requests."""
+        handle = self._handles.get(key)
+        if handle is not None:
+            return handle
+        if key != _FULL:
+            if key not in LAYER_KINDS:
+                raise ServiceError(
+                    f"unknown layer kind {key!r}; expected one of "
+                    f"{', '.join(LAYER_KINDS)}",
+                    code="bad-request",
+                )
+            if self.places is None:
+                raise ServiceError(
+                    "layer queries need the service started with a "
+                    "population's place table",
+                    code="bad-request",
+                )
+        fut = self._handle_futures.get(key)
+        if fut is not None:
+            return await fut
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._handle_futures[key] = fut
+        try:
+            handle = await loop.run_in_executor(
+                self._executor, self._build_handle_sync, key
+            )
+        except Exception as exc:
+            fut.set_exception(exc)
+            fut.exception()  # mark retrieved: followers may be absent
+            raise
+        else:
+            self._handles[key] = handle
+            fut.set_result(handle)
+            return handle
+        finally:
+            self._handle_futures.pop(key, None)
+
+    def _maybe_close(self, handle: _CacheHandle) -> None:
+        if handle.retired and handle.refs == 0:
+            handle.cache.close()
+            if handle in self._retired:
+                self._retired.remove(handle)
+
+    async def _reload(self) -> str:
+        """Swap every cache for a fresh one keyed to the current log
+        bytes; in-flight queries finish on the caches they started on."""
+        keys = list(self._handles)
+        old = [self._handles[k] for k in keys]
+        loop = asyncio.get_running_loop()
+        fresh = {}
+        for key in keys:
+            fresh[key] = await loop.run_in_executor(
+                self._executor, self._build_handle_sync, key
+            )
+        self._handles.update(fresh)
+        for handle in old:
+            handle.retired = True
+            self._retired.append(handle)
+            self._maybe_close(handle)
+        self.stats.reloads += 1
+        return self._handles[_FULL].cache.digest
+
+    # -- coalesced composition ------------------------------------------------
+
+    async def _coalesced_window(self, key: str, t0: int, t1: int):
+        """One window composition per in-flight ``(cache, t0, t1)``."""
+        handle = await self._get_handle(key)
+        handle.refs += 1
+        try:
+            wkey = (t0, t1)
+            fut = handle.inflight.get(wkey)
+            if fut is not None:
+                self.stats.coalesced += 1
+                net = await fut
+            else:
+                loop = asyncio.get_running_loop()
+                fut = loop.create_future()
+                handle.inflight[wkey] = fut
+                self.stats.compositions += 1
+                try:
+                    net = await loop.run_in_executor(
+                        self._executor, handle.cache.query_window, t0, t1
+                    )
+                except Exception as exc:
+                    fut.set_exception(exc)
+                    fut.exception()  # followers may be absent
+                    raise
+                else:
+                    fut.set_result(net)
+                finally:
+                    handle.inflight.pop(wkey, None)
+            self.admission.observe(t1 - t0, net.n_edges)
+            self._note_span(handle, t0, t1)
+            return net
+        finally:
+            handle.refs -= 1
+            self._maybe_close(handle)
+
+    # -- prefetch -------------------------------------------------------------
+
+    def _note_span(self, handle: _CacheHandle, t0: int, t1: int) -> None:
+        """Queue the tiles fore and aft of a queried span for warming."""
+        n_ahead = self.config.prefetch_tiles
+        if n_ahead <= 0 or self._prefetch_queue is None or handle.retired:
+            return
+        T = self.config.tile_hours
+        a0, a1 = t0 // T, -(-t1 // T)
+        last_tile = -(-handle.horizon // T)  # first tile past the horizon
+        candidates = [i for i in range(a1, min(a1 + n_ahead, last_tile))]
+        candidates += [i for i in range(max(a0 - n_ahead, 0), a0)]
+        for idx in candidates:
+            if idx not in handle.prefetched:
+                handle.prefetched.add(idx)
+                self._prefetch_queue.put_nowait((handle, idx))
+
+    async def _prefetch_worker(self) -> None:
+        """Warm queued tiles in the background; never dies on an error."""
+        assert self._prefetch_queue is not None
+        loop = asyncio.get_running_loop()
+        T = self.config.tile_hours
+        while True:
+            handle, idx = await self._prefetch_queue.get()
+            try:
+                if not handle.retired:
+                    handle.refs += 1
+                    try:
+                        built = await loop.run_in_executor(
+                            self._executor,
+                            handle.cache.warm,
+                            idx * T,
+                            (idx + 1) * T,
+                        )
+                        self.stats.prefetched_tiles += built
+                    finally:
+                        handle.refs -= 1
+                        self._maybe_close(handle)
+            except asyncio.CancelledError:
+                self._prefetch_queue.task_done()
+                raise
+            except Exception:
+                self.stats.errors += 1
+            else:
+                self._prefetch_queue.task_done()
+                continue
+            self._prefetch_queue.task_done()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    header, _blob = await read_frame(
+                        reader, self.config.max_frame
+                    )
+                except FrameError as exc:
+                    # a broken frame loses stream phase: answer and close
+                    self.stats.malformed += 1
+                    try:
+                        write_frame(
+                            writer,
+                            error_response(None, str(exc), "malformed"),
+                        )
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    OSError,
+                ):
+                    break  # peer went away between requests
+                self._inflight += 1
+                try:
+                    resp_header, resp_blob = await self._dispatch(header)
+                    try:
+                        write_frame(writer, resp_header, resp_blob)
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        self.stats.disconnects += 1
+                        break
+                finally:
+                    self._inflight -= 1
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, header: dict) -> tuple[dict, bytes]:
+        rid = header.get("id")
+        op = header.get("op")
+        self.stats.requests += 1
+        if self._draining and op not in ("ping", "stats"):
+            return (
+                error_response(rid, "server is draining", "shutting-down"),
+                b"",
+            )
+        handler = self._OPS.get(op)
+        if handler is None:
+            return (
+                error_response(rid, f"unknown op {op!r}", "bad-request"),
+                b"",
+            )
+        try:
+            return await handler(self, rid, header)
+        except AdmissionError as exc:
+            self.stats.rejections += 1
+            return (
+                error_response(
+                    rid, str(exc), exc.code, retry_after=exc.retry_after
+                ),
+                b"",
+            )
+        except ServiceError as exc:
+            return error_response(rid, str(exc), exc.code), b""
+        except ReproError as exc:
+            # domain validation (bad window, unknown person, damaged logs)
+            return error_response(rid, str(exc), "bad-request"), b""
+        except Exception as exc:  # noqa: BLE001 - server must stay up
+            self.stats.errors += 1
+            return (
+                error_response(
+                    rid, f"{type(exc).__name__}: {exc}", "internal"
+                ),
+                b"",
+            )
+
+    # -- ops ------------------------------------------------------------------
+
+    def _tenant(self, header: dict) -> str:
+        tenant = header.get("tenant", "anon")
+        if not isinstance(tenant, str) or not tenant:
+            raise ServiceError("'tenant' must be a non-empty string",
+                               code="bad-request")
+        return tenant
+
+    async def _admitted_window(self, header: dict, key: str):
+        """Parse, admit, compose, encode-release: the shared query core.
+
+        Returns ``(net, t0, t1, release)`` — the caller must invoke
+        ``release()`` once it no longer holds response-sized data.
+        """
+        t0, t1 = _window_params(header)
+        tenant = self._tenant(header)
+        self.stats.queries += 1
+        cost = self.admission.admit(tenant, t1 - t0)
+        released = False
+
+        def release() -> None:
+            nonlocal released
+            if not released:
+                released = True
+                self.admission.release(tenant, cost)
+
+        try:
+            net = await self._coalesced_window(key, t0, t1)
+        except BaseException:
+            release()
+            raise
+        return net, t0, t1, release
+
+    async def _op_ping(self, rid, header) -> tuple[dict, bytes]:
+        return ok_response(rid, pong=True, draining=self._draining), b""
+
+    async def _op_window(self, rid, header) -> tuple[dict, bytes]:
+        net, t0, t1, release = await self._admitted_window(header, _FULL)
+        try:
+            blob = await asyncio.get_running_loop().run_in_executor(
+                self._executor, encode_network, net
+            )
+        finally:
+            release()
+        return (
+            ok_response(
+                rid,
+                t0=t0,
+                t1=t1,
+                n_persons=net.n_persons,
+                n_edges=net.n_edges,
+                total_weight=net.total_weight,
+            ),
+            blob,
+        )
+
+    async def _op_layer(self, rid, header) -> tuple[dict, bytes]:
+        kind = header.get("kind")
+        if not isinstance(kind, str):
+            raise ServiceError("'kind' must be a string", code="bad-request")
+        net, t0, t1, release = await self._admitted_window(
+            header, kind.lower()
+        )
+        try:
+            blob = await asyncio.get_running_loop().run_in_executor(
+                self._executor, encode_network, net
+            )
+        finally:
+            release()
+        return (
+            ok_response(
+                rid,
+                kind=kind.lower(),
+                t0=t0,
+                t1=t1,
+                n_persons=net.n_persons,
+                n_edges=net.n_edges,
+                total_weight=net.total_weight,
+            ),
+            blob,
+        )
+
+    async def _op_ego(self, rid, header) -> tuple[dict, bytes]:
+        person = _require_int(header, "person", minimum=0)
+        radius = header.get("radius", self.config.ego_radius)
+        if isinstance(radius, bool) or not isinstance(radius, int) or radius < 1:
+            raise ServiceError(
+                "'radius' must be a positive integer", code="bad-request"
+            )
+        net, t0, t1, release = await self._admitted_window(header, _FULL)
+        loop = asyncio.get_running_loop()
+        try:
+            def _build() -> tuple[bytes, int, int]:
+                ego = ego_network(net, person, radius=radius)
+                blob = encode_csr(
+                    ego.matrix,
+                    persons=ego.persons.astype(np.int64),
+                    center=np.array([ego.center], dtype=np.int64),
+                    radius=np.array([ego.radius], dtype=np.int64),
+                )
+                return blob, ego.n_nodes, ego.n_edges
+
+            blob, n_nodes, n_edges = await loop.run_in_executor(
+                self._executor, _build
+            )
+        finally:
+            release()
+        return (
+            ok_response(
+                rid,
+                person=person,
+                radius=radius,
+                t0=t0,
+                t1=t1,
+                n_nodes=n_nodes,
+                n_edges=n_edges,
+            ),
+            blob,
+        )
+
+    async def _op_degrees(self, rid, header) -> tuple[dict, bytes]:
+        kind = header.get("kind")
+        if kind is not None and not isinstance(kind, str):
+            raise ServiceError(
+                "'kind' must be a string when given", code="bad-request"
+            )
+        key = kind.lower() if kind is not None else _FULL
+        net, t0, t1, release = await self._admitted_window(header, key)
+        loop = asyncio.get_running_loop()
+        try:
+            def _summarize() -> dict:
+                dist = degree_distribution(net.degrees())
+                return {
+                    "t0": t0,
+                    "t1": t1,
+                    "kind": None if key == _FULL else key,
+                    "n_vertices": int(dist.n_vertices),
+                    "n_isolated": int(dist.n_isolated),
+                    "n_edges": net.n_edges,
+                    "total_weight": net.total_weight,
+                    "mean_degree": float(dist.mean_degree),
+                    "max_degree": (
+                        int(dist.degrees.max()) if len(dist.degrees) else 0
+                    ),
+                    "degrees": dist.degrees.tolist(),
+                    "counts": dist.counts.tolist(),
+                }
+
+            summary = await loop.run_in_executor(self._executor, _summarize)
+        finally:
+            release()
+        return ok_response(rid, **summary), b""
+
+    async def _op_stats(self, rid, header) -> tuple[dict, bytes]:
+        caches = {}
+        for key, handle in self._handles.items():
+            s = handle.cache.stats
+            caches[key] = {
+                "digest": handle.cache.digest,
+                "horizon": handle.horizon,
+                "queries": s.queries,
+                "tile_hits": s.tile_hits,
+                "fringe_hits": s.fringe_hits,
+                "disk_hits": s.disk_hits,
+                "tiles_built": s.tiles_built,
+                "tiles_merged": s.tiles_merged,
+                "evictions": s.evictions,
+                "cached_nnz": handle.cache.cached_nnz,
+                "quarantined": list(handle.cache.quarantined),
+            }
+        return (
+            ok_response(
+                rid,
+                stats=self.stats.snapshot(),
+                admission=self.admission.snapshot(),
+                caches=caches,
+            ),
+            b"",
+        )
+
+    async def _op_reload(self, rid, header) -> tuple[dict, bytes]:
+        digest = await self._reload()
+        return ok_response(rid, reloaded=True, digest=digest), b""
+
+    async def _op_shutdown(self, rid, header) -> tuple[dict, bytes]:
+        # respond first; the drain starts as soon as this request's
+        # response is on the wire (stop() waits for in-flight writes)
+        asyncio.get_running_loop().call_soon(
+            lambda: asyncio.ensure_future(self.stop())
+        )
+        return ok_response(rid, stopping=True), b""
+
+    _OPS = {
+        "ping": _op_ping,
+        "window": _op_window,
+        "layer": _op_layer,
+        "ego": _op_ego,
+        "degrees": _op_degrees,
+        "stats": _op_stats,
+        "reload": _op_reload,
+        "shutdown": _op_shutdown,
+    }

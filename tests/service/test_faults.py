@@ -1,0 +1,316 @@
+"""Fault injection: the server must outlive its misbehaving clients.
+
+Scenarios, mirroring the failure taxonomy of ``tests/_faults.py``:
+
+* malformed frames (bad length prefix, non-JSON, non-object header, bad
+  ``blob_len``) — answered once with ``code="malformed"``, connection
+  closed, server keeps serving everyone else;
+* clients that vanish mid-request and mid-response (the latter with an
+  RST while their composition is still parked in the executor);
+* log-set digest invalidation (``reload``) while a query is in flight —
+  the in-flight query finishes bit-identical on the cache snapshot it
+  started on, the retired cache closes only after its last reference;
+* graceful shutdown draining an in-flight query to a complete response
+  while refusing new work with ``code="shutting-down"``.
+
+The executor-gate idiom from the concurrency suite keeps every "while in
+flight" window deterministic: a query is provably mid-composition when
+its wrapped ``query_window`` has signalled ``started``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core import synthesize_from_logs
+from repro.errors import ServiceError
+from repro.service import NetworkQueryService, ServiceClient, ServiceConfig
+from repro.service.protocol import read_frame
+
+from .conftest import assert_bit_identical
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def make_service(service_logs, small_pop, **overrides) -> NetworkQueryService:
+    config = ServiceConfig(port=0, **overrides)
+    return NetworkQueryService(
+        service_logs,
+        small_pop.n_persons,
+        places=small_pop.places,
+        config=config,
+    )
+
+
+async def wait_for(predicate, timeout: float = 30.0) -> None:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            raise AssertionError("timed out waiting for server state")
+        await asyncio.sleep(0.005)
+
+
+class _Gate:
+    """Wrap a handle's ``cache.query_window`` so compositions announce
+    themselves and block until the test releases them."""
+
+    def __init__(self, handle) -> None:
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self._orig = handle.cache.query_window
+
+        def gated(t0, t1):
+            self.started.set()
+            assert self.release.wait(60)
+            return self._orig(t0, t1)
+
+        handle.cache.query_window = gated
+
+
+MALFORMED_FRAMES = [
+    # length prefix far beyond max_frame
+    struct.pack(">I", 0xFFFFFFFF),
+    # zero-length frame
+    struct.pack(">I", 0),
+    # header is not JSON
+    struct.pack(">I", 7) + b"notjson",
+    # header is JSON but not an object
+    struct.pack(">I", 5) + b"[1,2]",
+    # blob_len is negative
+    struct.pack(">I", 29) + b'{"op":"ping","blob_len":-512}',
+]
+
+
+class TestMalformedFrames:
+    def test_each_malformed_frame_answered_once_then_closed(
+        self, service_logs, small_pop
+    ):
+        async def scenario():
+            svc = make_service(service_logs, small_pop, prefetch_tiles=0)
+            async with svc:
+                for i, frame in enumerate(MALFORMED_FRAMES):
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", svc.port
+                    )
+                    writer.write(frame)
+                    await writer.drain()
+                    header, blob = await read_frame(reader)
+                    assert header["ok"] is False
+                    assert header["code"] == "malformed"
+                    assert blob == b""
+                    # the server closed its side: EOF, not another frame
+                    assert await reader.read(1) == b""
+                    writer.close()
+                    await writer.wait_closed()
+                    assert svc.stats.malformed == i + 1
+                # everyone else is unaffected
+                async with ServiceClient(port=svc.port) as client:
+                    assert (await client.ping())["pong"] is True
+                assert svc.stats.errors == 0
+
+        asyncio.run(scenario())
+
+    def test_clean_errors_do_not_lose_stream_phase(
+        self, service_logs, small_pop, direct_ref
+    ):
+        """Validation failures are answered in-band; the same connection
+        keeps working afterwards."""
+        ref = direct_ref(0, 24)
+
+        async def scenario():
+            svc = make_service(service_logs, small_pop, prefetch_tiles=0)
+            async with svc:
+                async with ServiceClient(port=svc.port) as client:
+                    bad = [
+                        ("nope", {}),
+                        ("window", {"t0": 5, "t1": 5}),
+                        ("window", {"t0": -1, "t1": 24}),
+                        ("window", {"t0": 0, "t1": 24, "tenant": ""}),
+                        ("layer", {"kind": "mall", "t0": 0, "t1": 24}),
+                        ("ego", {"person": -1, "t0": 0, "t1": 24}),
+                        ("ego", {"person": 1, "radius": 0, "t0": 0, "t1": 24}),
+                        ("degrees", {"kind": 42, "t0": 0, "t1": 24}),
+                    ]
+                    for op, params in bad:
+                        with pytest.raises(ServiceError) as err:
+                            await client.request(op, **params)
+                        assert err.value.code == "bad-request"
+                    net = await client.query_window(0, 24)
+                assert svc.stats.malformed == 0
+                assert svc.stats.errors == 0
+                return net
+
+        net = asyncio.run(scenario())
+        assert_bit_identical(net.adjacency, ref.adjacency)
+
+
+class TestDisconnects:
+    def test_disconnect_mid_request_is_silent(self, service_logs, small_pop):
+        async def scenario():
+            svc = make_service(service_logs, small_pop, prefetch_tiles=0)
+            async with svc:
+                _, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                await wait_for(lambda: svc.stats.connections == 1)
+                # half a frame: claim 100 bytes, deliver 10, vanish
+                writer.write(struct.pack(">I", 100) + b"x" * 10)
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                async with ServiceClient(port=svc.port) as client:
+                    assert (await client.ping())["pong"] is True
+                assert svc.stats.malformed == 0
+                assert svc.stats.errors == 0
+
+        asyncio.run(scenario())
+
+    def test_disconnect_mid_response_counts_and_survives(
+        self, service_logs, small_pop, direct_ref
+    ):
+        ref = direct_ref(0, 168)
+
+        async def scenario():
+            svc = make_service(
+                service_logs,
+                small_pop,
+                prefetch_tiles=0,
+                executor_threads=1,
+            )
+            async with svc:
+                gate = threading.Event()
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", svc.port
+                    )
+                    # park the executor so the query is provably
+                    # unanswered when the client resets the connection
+                    svc._executor.submit(gate.wait)
+                    payload = b'{"op":"window","id":1,"t0":0,"t1":168}'
+                    writer.write(struct.pack(">I", len(payload)) + payload)
+                    await writer.drain()
+                    await wait_for(lambda: svc.stats.queries == 1)
+                    # SO_LINGER(on, 0): close sends RST, not FIN
+                    sock = writer.get_extra_info("socket")
+                    sock.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                    writer.close()
+                    gate.set()
+                    await wait_for(lambda: svc.stats.disconnects == 1)
+                finally:
+                    gate.set()
+                # the tenant's admission charge was still released
+                assert (
+                    svc.admission.tenants["anon"].in_flight_queries == 0
+                )
+                async with ServiceClient(port=svc.port) as client:
+                    net = await client.query_window(0, 168)
+                assert svc.stats.errors == 0
+                return net
+
+        net = asyncio.run(scenario())
+        assert_bit_identical(net.adjacency, ref.adjacency)
+
+
+class TestReloadInFlight:
+    def test_digest_invalidation_while_query_in_flight(
+        self, service_logs, small_pop, tmp_path
+    ):
+        """Reload under load: the in-flight query completes on the cache
+        it started on; later queries see the new log bytes."""
+        log_dir = tmp_path / "logs"
+        shutil.copytree(service_logs, log_dir)
+        ref_old, _ = synthesize_from_logs(
+            log_dir, small_pop.n_persons, 24, 192, kernel="intervals"
+        )
+
+        async def scenario():
+            svc = make_service(
+                log_dir, small_pop, prefetch_tiles=0, executor_threads=2
+            )
+            async with svc:
+                old_handle = svc._handles["full"]
+                old_digest = old_handle.cache.digest
+                gate = _Gate(old_handle)
+                async with ServiceClient(port=svc.port) as a:
+                    async with ServiceClient(port=svc.port) as b:
+                        inflight = asyncio.create_task(
+                            a.query_window(24, 192)
+                        )
+                        await wait_for(gate.started.is_set)
+                        # invalidate the digest: one rank's log vanishes
+                        # (the old cache's mmap keeps the inode alive, so
+                        # its in-flight query is unaffected)
+                        (log_dir / "rank_0001.evl").unlink()
+                        resp = await b.reload()
+                        assert resp["reloaded"] is True
+                        assert resp["digest"] != old_digest
+                        # swapped, retired, but NOT closed: the in-flight
+                        # query still holds a reference
+                        assert svc._handles["full"] is not old_handle
+                        assert old_handle.retired
+                        assert old_handle in svc._retired
+                        gate.release.set()
+                        net_old = await inflight
+                        # last reference gone -> retired cache closed
+                        assert old_handle not in svc._retired
+                        net_new = await b.query_window(24, 192)
+                assert svc.stats.reloads == 1
+                assert svc.stats.errors == 0
+                return net_old, net_new
+
+        net_old, net_new = asyncio.run(scenario())
+        # consistency: the in-flight query saw the pre-reload logs
+        assert_bit_identical(net_old.adjacency, ref_old.adjacency)
+        # freshness: the next query no longer sees the deleted rank
+        ref_new, _ = synthesize_from_logs(
+            log_dir, small_pop.n_persons, 24, 192, kernel="intervals"
+        )
+        assert_bit_identical(net_new.adjacency, ref_new.adjacency)
+        assert net_new.total_weight < net_old.total_weight
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_in_flight_query(
+        self, service_logs, small_pop, direct_ref
+    ):
+        ref = direct_ref(0, 24)
+
+        async def scenario():
+            svc = make_service(service_logs, small_pop, prefetch_tiles=0)
+            async with svc:
+                gate = _Gate(svc._handles["full"])
+                a = await ServiceClient(port=svc.port).connect()
+                b = await ServiceClient(port=svc.port).connect()
+                inflight = asyncio.create_task(a.query_window(0, 24))
+                await wait_for(gate.started.is_set)
+                resp = await b.shutdown()
+                assert resp["stopping"] is True
+                await wait_for(lambda: svc._draining)
+                # draining: pings answer (and say so), queries refused
+                assert (await b.ping())["draining"] is True
+                with pytest.raises(ServiceError) as err:
+                    await b.query_window(0, 24)
+                assert err.value.code == "shutting-down"
+                gate.release.set()
+                net = await inflight
+                await svc.wait_stopped()
+                assert svc.stats.errors == 0
+                assert svc.stats.disconnects == 0
+                await a.close()
+                await b.close()
+                return net
+
+        net = asyncio.run(scenario())
+        # the drained query's response arrived complete and correct
+        assert_bit_identical(net.adjacency, ref.adjacency)

@@ -1,0 +1,137 @@
+"""Frame protocol unit tests: framing round-trips, CSR bit-identity,
+malformed-input detection — no sockets, just in-memory streams."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.network import CollocationNetwork
+from repro.errors import FrameError
+from repro.service.protocol import (
+    MAX_FRAME,
+    decode_csr,
+    decode_network,
+    encode_csr,
+    encode_network,
+    read_frame,
+    write_frame,
+)
+
+from .conftest import assert_bit_identical
+
+pytestmark = pytest.mark.timeout(60)
+
+
+class _SinkWriter:
+    """Minimal StreamWriter stand-in capturing written bytes."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self.buffer.extend(data)
+
+
+def feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def roundtrip(header: dict, blob: bytes = b"") -> tuple[dict, bytes]:
+    writer = _SinkWriter()
+    write_frame(writer, header, blob)
+
+    async def read():
+        return await read_frame(feed(bytes(writer.buffer)))
+
+    return asyncio.run(read())
+
+
+def random_csr(rng, n=50, density=0.1) -> sp.csr_matrix:
+    mat = sp.random(
+        n, n, density=density, format="csr", dtype=np.int64, random_state=42
+    )
+    mat.data[:] = rng.integers(1, 100, mat.nnz)
+    return mat
+
+
+class TestFraming:
+    def test_json_only_roundtrip(self):
+        header, blob = roundtrip({"op": "ping", "id": 3})
+        assert header == {"op": "ping", "id": 3}
+        assert blob == b""
+
+    def test_blob_roundtrip_sets_blob_len(self):
+        payload = bytes(range(256)) * 10
+        header, blob = roundtrip({"op": "x", "id": 1}, payload)
+        assert blob == payload
+        assert header["blob_len"] == len(payload)
+
+    def test_two_frames_back_to_back_keep_phase(self):
+        writer = _SinkWriter()
+        write_frame(writer, {"id": 1}, b"abc")
+        write_frame(writer, {"id": 2})
+
+        async def read_both():
+            reader = feed(bytes(writer.buffer))
+            return await read_frame(reader), await read_frame(reader)
+
+        (h1, b1), (h2, b2) = asyncio.run(read_both())
+        assert (h1["id"], b1) == (1, b"abc")
+        assert (h2["id"], b2) == (2, b"")
+
+    @pytest.mark.parametrize(
+        "raw,match",
+        [
+            (struct.pack(">I", 0), "outside"),
+            (struct.pack(">I", MAX_FRAME + 1), "outside"),
+            (struct.pack(">I", 4) + b"nope", "not JSON"),
+            (struct.pack(">I", 4) + b'"hi"', "JSON object"),
+            (struct.pack(">I", 16) + b'{"blob_len":-10}', "blob_len"),
+            (struct.pack(">I", 18) + b'{"blob_len":"big"}', "blob_len"),
+        ],
+    )
+    def test_malformed_frames_raise_frame_error(self, raw, match):
+        async def read():
+            await read_frame(feed(raw))
+
+        with pytest.raises(FrameError, match=match):
+            asyncio.run(read())
+
+    def test_truncated_stream_is_not_a_frame_error(self):
+        """A peer that vanished mid-frame is a disconnect, not malice."""
+
+        async def read():
+            await read_frame(feed(struct.pack(">I", 100) + b"x" * 10))
+
+        with pytest.raises(asyncio.IncompleteReadError):
+            asyncio.run(read())
+
+
+class TestCsrEncoding:
+    def test_csr_roundtrip_bit_identical(self, rng):
+        mat = random_csr(rng)
+        out, extra = decode_csr(encode_csr(mat))
+        assert_bit_identical(out, mat)
+        assert extra == {}
+
+    def test_extras_round_trip(self, rng):
+        mat = random_csr(rng)
+        persons = rng.integers(0, 1000, 17).astype(np.int64)
+        out, extra = decode_csr(encode_csr(mat, persons=persons))
+        assert_bit_identical(out, mat)
+        assert np.array_equal(extra["persons"], persons)
+
+    def test_network_roundtrip_preserves_window(self, rng):
+        mat = sp.triu(random_csr(rng), k=1).tocsr()  # strictly upper
+        net = CollocationNetwork(mat, t0=24, t1=192)
+        out = decode_network(encode_network(net))
+        assert (out.t0, out.t1) == (24, 192)
+        assert_bit_identical(out.adjacency, net.adjacency)
