@@ -301,6 +301,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tenant_budget_nnz=args.tenant_budget_nnz,
         executor_threads=args.threads,
         prefetch_tiles=args.prefetch,
+        default_deadline=args.deadline,
+        write_timeout=args.write_timeout,
+        queue_limit=args.queue_limit,
+        shed_inflight_age=args.shed_age,
     )
     service = NetworkQueryService(
         args.log_dir, pop.n_persons, places=pop.places, config=config
@@ -327,16 +331,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
-    from .service import SyncServiceClient
+    from .service import FailoverClient, SyncServiceClient
 
-    client = SyncServiceClient(
-        host=args.host, port=args.port, tenant=args.tenant,
-        retries=args.retries,
-    )
+    if args.replicas:
+        if args.op in ("reload", "shutdown"):
+            print(
+                f"error: {args.op!r} is not idempotent; send it to one "
+                "replica with --host/--port, not --replicas",
+                file=sys.stderr,
+            )
+            return 2
+        replicas = [r.strip() for r in args.replicas.split(",") if r.strip()]
+        client = SyncServiceClient(
+            cls=FailoverClient, replicas=replicas, tenant=args.tenant,
+            retries=args.retries, deadline=args.deadline,
+        )
+    else:
+        client = SyncServiceClient(
+            host=args.host, port=args.port, tenant=args.tenant,
+            retries=args.retries, deadline=args.deadline,
+        )
     try:
         op = args.op
         if op == "ping":
             print(client.ping())
+        elif op == "live":
+            print(client.liveness())
+        elif op == "ready":
+            print(client.readiness())
         elif op == "stats":
             stats = client.stats()
             for key, value in sorted(stats["stats"].items()):
@@ -568,6 +590,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--prefetch", type=int, default=1,
         help="tiles to warm ahead/behind each queried span (0 disables)",
     )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="server-side cap on every request's deadline budget (also "
+        "the default for requests carrying none)",
+    )
+    p.add_argument(
+        "--write-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="abort a connection whose response write stalls this long "
+        "(default: 30)",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="load shedding: max admitted-but-unfinished queries before "
+        "new ones are rejected with code=overload (default: 256)",
+    )
+    p.add_argument(
+        "--shed-age", type=float, default=None, metavar="SECONDS",
+        help="load shedding: also shed while the oldest in-flight "
+        "request is older than this",
+    )
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -576,12 +618,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "op",
         choices=[
-            "ping", "window", "layer", "ego", "degrees", "stats",
-            "reload", "shutdown",
+            "ping", "live", "ready", "window", "layer", "ego", "degrees",
+            "stats", "reload", "shutdown",
         ],
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7227)
+    p.add_argument(
+        "--replicas", default=None, metavar="HOST:PORT,HOST:PORT,...",
+        help="query a replica set with circuit-breaking failover "
+        "instead of a single server (idempotent ops only)",
+    )
     p.add_argument("--tenant", default="cli")
     p.add_argument("--t0", type=int, default=0)
     p.add_argument("--t1", type=int, default=HOURS_PER_WEEK)
@@ -593,7 +640,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--person", type=int, default=0, help="ego op: center")
     p.add_argument(
         "--retries", type=int, default=3,
-        help="automatic retries after admission rejections (default: 3)",
+        help="automatic retries after admission/overload rejections "
+        "(default: 3)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request budget; the server rejects work it cannot "
+        "finish in time instead of queueing it",
     )
     p.add_argument("--out", default=None, help="save the fetched network")
     p.set_defaults(fn=_cmd_client)

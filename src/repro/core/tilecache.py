@@ -46,6 +46,14 @@ plus the population size, tile size, and place filter).  Rewriting a log
 or any regeneration — changes the digest, and a cache opened against the
 new digest discards every stale tile before rebuilding.
 
+Persisted tiles are **self-healing**: every tile file's CRC32 is
+recorded in the manifest at write time, and a tile whose bytes no longer
+match on load — torn write, bit rot, truncation, manual damage — is
+*quarantined* (renamed aside with a ``.quarantined`` suffix, dropped
+from the manifest, counted in ``stats.tiles_quarantined``) and rebuilt
+from the logs transparently.  Answers stay bit-identical; only that one
+query's latency degrades to a rebuild.
+
 Tile construction runs through the existing
 :class:`~repro.distrib.taskpool.WorkerPool` machinery — one task per
 tile, batched per query — and under ``dispatch="zero-copy"`` ships
@@ -73,6 +81,7 @@ import hashlib
 import io
 import json
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -102,7 +111,9 @@ __all__ = [
 ]
 
 TILE_MANIFEST = "tiles.json"
-_TILE_VERSION = 1
+#: v2 adds a per-tile CRC32 to the manifest (self-healing quarantine);
+#: v1 stores carry no checksums and are discarded as stale on open
+_TILE_VERSION = 2
 _DEFAULT_TILE_HOURS = 24
 _HASH_CHUNK = 1 << 20
 
@@ -146,6 +157,9 @@ class TileCacheStats:
     evictions: int = 0
     #: persisted tiles discarded because their digest went stale
     invalidated: int = 0
+    #: persisted tiles quarantined on load (CRC mismatch / torn file)
+    #: and transparently rebuilt from records
+    tiles_quarantined: int = 0
     #: hours covered by record-level fringe synthesis (unaligned edges)
     fringe_hours: int = 0
     timings: StageTimings = field(default_factory=StageTimings)
@@ -160,6 +174,7 @@ class TileCacheStats:
             f"tiles merged     {self.tiles_merged:>10,}",
             f"evictions        {self.evictions:>10,}",
             f"invalidated      {self.invalidated:>10,}",
+            f"quarantined      {self.tiles_quarantined:>10,}",
             f"fringe hours     {self.fringe_hours:>10,}",
             "--- timings ---",
             self.timings.report(),
@@ -333,7 +348,10 @@ class TileCache:
         #: ``("F", w0, w1)`` — one nnz budget governs both
         self._tiles: "OrderedDict[tuple, sp.csr_matrix]" = OrderedDict()
         self._cached_nnz = 0
-        self._disk: dict[tuple[int, int], str] = {}
+        #: persisted-tile index: key -> {"file": name, "crc": crc32}
+        self._disk: dict[tuple[int, int], dict] = {}
+        #: tile files quarantined this lifetime (corrupt/torn on load)
+        self.quarantined_tiles: list[str] = []
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self._cache_dir is not None:
             self._open_store()
@@ -376,10 +394,12 @@ class TileCache:
         )
         tiles = (manifest or {}).get("tiles", {})
         if stale:
-            for fname in tiles.values():
+            for entry in tiles.values():
+                # v1 manifests map to bare file names, v2 to objects
+                fname = entry["file"] if isinstance(entry, dict) else entry
                 try:
                     (self._cache_dir / fname).unlink()
-                except OSError:
+                except (OSError, TypeError, KeyError):
                     pass
             try:
                 manifest_path.unlink()
@@ -387,10 +407,14 @@ class TileCache:
                 pass
             self.stats.invalidated += len(tiles)
             return
-        for key_str, fname in tiles.items():
+        for key_str, entry in tiles.items():
             level_str, _, idx_str = key_str.partition(":")
-            if (self._cache_dir / fname).is_file():
-                self._disk[(int(level_str), int(idx_str))] = fname
+            if (
+                isinstance(entry, dict)
+                and isinstance(entry.get("crc"), int)
+                and (self._cache_dir / entry["file"]).is_file()
+            ):
+                self._disk[(int(level_str), int(idx_str))] = entry
 
     def _write_manifest(self) -> None:
         assert self._cache_dir is not None
@@ -400,8 +424,8 @@ class TileCache:
             "tile_hours": self.tile_hours,
             "n_persons": self.n_persons,
             "tiles": {
-                f"{level}:{idx}": fname
-                for (level, idx), fname in sorted(self._disk.items())
+                f"{level}:{idx}": entry
+                for (level, idx), entry in sorted(self._disk.items())
             },
         }
         atomic_write_bytes(
@@ -422,21 +446,62 @@ class TileCache:
             indptr=mat.indptr,
             shape=np.array(mat.shape, dtype=np.int64),
         )
-        atomic_write_bytes(self._cache_dir / fname, buf.getvalue())
-        self._disk[key] = fname
+        data = buf.getvalue()
+        atomic_write_bytes(self._cache_dir / fname, data)
+        self._disk[key] = {"file": fname, "crc": zlib.crc32(data)}
         self._write_manifest()
 
-    def _load_disk(self, key: tuple[int, int]) -> sp.csr_matrix | None:
+    def _quarantine_tile(self, key: tuple[int, int], reason: str) -> None:
+        """Move a damaged persisted tile aside and forget it.
+
+        The file is renamed (never deleted — an operator may want the
+        evidence) and the manifest rewritten without it, so the next
+        :meth:`_persist` of the rebuilt tile starts from a clean name.
+        """
         assert self._cache_dir is not None
+        entry = self._disk.pop(key, None)
+        if entry is None:
+            return
+        path = self._cache_dir / entry["file"]
         try:
-            with np.load(self._cache_dir / self._disk[key]) as z:
+            path.replace(path.with_name(path.name + ".quarantined"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._write_manifest()
+        self.stats.tiles_quarantined += 1
+        self.quarantined_tiles.append(f"{path} ({reason})")
+
+    def _load_disk(self, key: tuple[int, int]) -> sp.csr_matrix | None:
+        """A persisted tile, or ``None`` after quarantining a bad one.
+
+        Every load re-verifies the manifest CRC over the file's bytes, so
+        corruption *anywhere* in the npz (torn write, flipped bits,
+        truncation) is detected before the matrix is trusted; the caller
+        falls through to a transparent rebuild from records.
+        """
+        assert self._cache_dir is not None
+        entry = self._disk[key]
+        try:
+            raw = (self._cache_dir / entry["file"]).read_bytes()
+        except OSError:
+            self._quarantine_tile(key, "unreadable")
+            return None
+        if zlib.crc32(raw) != entry["crc"]:
+            self._quarantine_tile(key, "crc mismatch")
+            return None
+        try:
+            with np.load(io.BytesIO(raw)) as z:
                 return sp.csr_matrix(
                     (z["data"], z["indices"], z["indptr"]),
                     shape=tuple(z["shape"]),
                 )
-        except (OSError, KeyError, ValueError):
-            # unreadable tile file: drop the pointer, rebuild from records
-            self._disk.pop(key, None)
+        except (OSError, KeyError, ValueError, zlib.error):
+            # CRC matched but the archive will not decode — treat it the
+            # same way: quarantine and rebuild
+            self._quarantine_tile(key, "undecodable")
             return None
 
     # -- LRU ------------------------------------------------------------------

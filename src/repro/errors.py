@@ -27,6 +27,9 @@ __all__ = [
     "ServiceError",
     "FrameError",
     "AdmissionError",
+    "OverloadError",
+    "DeadlineError",
+    "ReplicaSetError",
     "AnalysisError",
     "FitError",
     "LayoutError",
@@ -153,6 +156,43 @@ class AdmissionError(ServiceError):
     def __init__(self, message: str, retry_after: float) -> None:
         super().__init__(message, code="admission")
         self.retry_after = float(retry_after)
+
+
+class OverloadError(ServiceError):
+    """The server shed a request to protect itself under overload.
+
+    Unlike :class:`AdmissionError` (one tenant over its own budget), an
+    overload rejection is *server-wide*: the admission queue depth or the
+    in-flight-age threshold tripped.  ``retry_after`` is the suggested
+    back-off; the request was not executed and may be retried verbatim —
+    ideally on another replica."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message, code="overload")
+        self.retry_after = float(retry_after)
+
+
+class DeadlineError(ServiceError):
+    """A request's deadline was (or would be) exceeded.
+
+    ``code="expired"`` means the deadline had already passed when the
+    request reached the server (or a queued composition was abandoned
+    before it started) — the work was rejected, never executed.
+    ``code="deadline"`` means the deadline ran out while the work was in
+    progress; partial server-side work continues only to serve coalesced
+    peers and is never returned to this caller."""
+
+    def __init__(self, message: str, code: str = "deadline") -> None:
+        super().__init__(message, code=code)
+
+
+class ReplicaSetError(ServiceError):
+    """Every replica in a failover set is unusable (connection failures,
+    open circuit breakers, or exhausted retries).  ``__cause__`` carries
+    the last underlying failure."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="unavailable")
 
 
 class AnalysisError(ReproError):

@@ -6,8 +6,12 @@ serves it.  A :class:`NetworkQueryService` owns warm
 and answers concurrent window / layer / ego-subgraph / degree-summary
 queries from many clients over a length-prefixed frame protocol, with
 request coalescing, per-tenant admission control, background tile
-prefetch, and graceful drain.  See :mod:`repro.service.server` for the
-architecture and :mod:`repro.service.protocol` for the wire format.
+prefetch, and graceful drain.  The resilience layer adds deadline
+propagation, priority load shedding, liveness/readiness probes
+(:mod:`repro.service.resilience`, :mod:`repro.service.health`), and a
+replica-failover client with circuit breakers and request hedging
+(:mod:`repro.service.failover`).  See :mod:`repro.service.server` for
+the architecture and :mod:`repro.service.protocol` for the wire format.
 
 Start one from the CLI with ``repro serve`` and query it with
 ``repro client`` or programmatically::
@@ -19,7 +23,9 @@ Start one from the CLI with ``repro serve`` and query it with
 """
 
 from .admission import AdmissionController, TenantUsage
-from .client import EgoResult, ServiceClient, SyncServiceClient
+from .client import EgoResult, QueryMethods, ServiceClient, SyncServiceClient
+from .failover import FailoverClient
+from .health import HealthMonitor
 from .protocol import (
     DEFAULT_PORT,
     MAX_FRAME,
@@ -30,14 +36,27 @@ from .protocol import (
     read_frame,
     write_frame,
 )
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    LoadShedder,
+    jittered_backoff,
+)
 from .server import NetworkQueryService, ServiceConfig, ServiceStats
 
 __all__ = [
     "AdmissionController",
     "TenantUsage",
     "EgoResult",
+    "QueryMethods",
     "ServiceClient",
     "SyncServiceClient",
+    "FailoverClient",
+    "HealthMonitor",
+    "CircuitBreaker",
+    "Deadline",
+    "LoadShedder",
+    "jittered_backoff",
     "DEFAULT_PORT",
     "MAX_FRAME",
     "decode_csr",

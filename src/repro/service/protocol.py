@@ -23,10 +23,16 @@ Requests
 --------
 ``{"op": ..., "id": ..., "tenant": ..., **params}`` — ``id`` is echoed
 verbatim in the response so clients can pipeline requests; ``tenant``
-(default ``"anon"``) selects the admission-control ledger.  Ops:
+(default ``"anon"``) selects the admission-control ledger.  An optional
+``deadline`` (a number: the client's remaining budget in *seconds*,
+relative so clock skew cannot bite) bounds the request server-side —
+work the server cannot finish in time is rejected, never silently
+queued.  Ops:
 
 ========== ===========================================================
-``ping``     liveness probe
+``ping``     liveness probe (echoes ``draining``)
+``live``     liveness detail: lifecycle state + uptime
+``ready``    readiness verdict + reasons (load-balancer probe)
 ``window``   ``t0, t1`` → full-network CSR for the window (blob)
 ``layer``    ``kind, t0, t1`` → one place-kind layer's CSR (blob)
 ``ego``      ``person, t0, t1 [, radius]`` → induced ego subgraph (blob)
@@ -39,9 +45,12 @@ verbatim in the response so clients can pipeline requests; ``tenant``
 Responses
 ---------
 ``{"id", "ok": true, ...}`` on success.  On failure ``ok`` is false and
-``error`` / ``code`` describe why; ``code="admission"`` additionally
-carries ``retry_after`` (seconds) and means the query was not executed
-and may be retried verbatim.
+``error`` / ``code`` describe why; ``code="admission"`` (one tenant over
+budget) and ``code="overload"`` (server-wide load shed) additionally
+carry ``retry_after`` (seconds) and mean the query was not executed and
+may be retried verbatim.  ``code="expired"`` means the deadline had
+already passed when the request was dispatched (rejected, never run);
+``code="deadline"`` means it ran out mid-flight.
 """
 
 from __future__ import annotations

@@ -29,10 +29,34 @@ Architecture
   span, extended ``prefetch_tiles`` base tiles fore and aft (clamped to
   the log horizon), is queued for background warming — sliding-window
   workloads find their next tile already built.
+* **Deadline propagation.**  A request may carry a ``deadline`` budget
+  (seconds) in its frame header; the server converts it to a monotonic
+  :class:`~repro.service.resilience.Deadline` on receipt.  Dead-on-
+  arrival work is rejected with ``code="expired"`` before it touches the
+  queue; a composition whose every registered waiter has expired is
+  abandoned at executor dequeue; waiting on a composition, encoding, and
+  the response write are all bounded by the remaining budget
+  (``code="deadline"`` when it runs out mid-flight).  Coalesced peers
+  with later deadlines are unaffected — a follower that receives a
+  leader's abandonment but still has budget simply recomposes.
+* **Load shedding.**  A :class:`~repro.service.resilience.LoadShedder`
+  bounds admitted-but-unfinished work server-wide.  Control ops
+  (``ping``/``stats``/``live``/``ready``) are never shed; queries are
+  shed with ``code="overload"`` + ``retry_after`` when depth reaches
+  ``queue_limit`` or the oldest in-flight request exceeds
+  ``shed_inflight_age``; background prefetch is shed first, at half the
+  query limit.
+* **Slow-client write timeout.**  A response write that cannot drain
+  within ``write_timeout`` aborts that connection (counted in
+  ``slow_writes``) instead of parking a handler on a stalled socket
+  forever.
 * **Graceful drain.**  ``stop()`` refuses new work (``shutting-down``
-  rejections), stops accepting connections, waits for in-flight
-  requests to finish writing (bounded by ``drain_timeout``), then closes
-  caches and the executor.
+  rejections) while continuing to *answer* — probes and rejections stay
+  fast so load balancers fail over cleanly — waits for in-flight
+  requests to finish writing on an event signalled at last-inflight-
+  exit (no polling), and force-aborts any writer still unfinished at
+  the ``drain_timeout`` deadline before closing caches and the
+  executor.
 * **Reload.**  The ``reload`` op re-opens every cache against the
   current log bytes (new content digest).  In-flight queries keep a
   reference to the cache they started on and finish consistently; the
@@ -42,6 +66,7 @@ Architecture
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -52,9 +77,23 @@ from ..analysis.degree import degree_distribution
 from ..analysis.ego import ego_network
 from ..core.layers import LAYER_KINDS, layer_caches
 from ..core.tilecache import TileCache
-from ..errors import AdmissionError, FrameError, ReproError, ServiceError
+from ..errors import (
+    AdmissionError,
+    DeadlineError,
+    FrameError,
+    OverloadError,
+    ReproError,
+    ServiceError,
+)
 from ..synthpop.places import PlaceTable
 from .admission import AdmissionController
+from .health import HealthMonitor
+from .resilience import (
+    PRIORITY_PREFETCH,
+    PRIORITY_QUERY,
+    Deadline,
+    LoadShedder,
+)
 from .protocol import (
     DEFAULT_PORT,
     MAX_FRAME,
@@ -101,6 +140,19 @@ class ServiceConfig:
     drain_timeout: float = 10.0
     #: default ego-subgraph BFS radius (the paper's figures use 2)
     ego_radius: int = 2
+    #: server-side cap applied to every request's deadline budget
+    #: (seconds); also the default for requests that carry none.  None
+    #: leaves deadline-less requests unbounded.
+    default_deadline: float | None = None
+    #: abort a connection whose response write cannot drain within this
+    #: many seconds (slow/stalled client); None disables
+    write_timeout: float | None = 30.0
+    #: load shedding: max admitted-but-unfinished queries server-wide;
+    #: None never sheds on depth
+    queue_limit: int | None = 256
+    #: load shedding: reject new work while the oldest in-flight request
+    #: is older than this many seconds; None disables the age trigger
+    shed_inflight_age: float | None = None
 
 
 @dataclass
@@ -126,6 +178,18 @@ class ServiceStats:
     #: base tiles built by the background prefetcher
     prefetched_tiles: int = 0
     reloads: int = 0
+    #: requests whose deadline had already passed on arrival (rejected
+    #: with code="expired", never queued)
+    expired: int = 0
+    #: requests whose deadline ran out mid-flight (code="deadline")
+    deadline_timeouts: int = 0
+    #: queries shed by the admission queue (code="overload")
+    shed: int = 0
+    #: background prefetch jobs dropped under load
+    shed_prefetch: int = 0
+    #: connections aborted because a response write stalled past
+    #: write_timeout
+    slow_writes: int = 0
 
     def snapshot(self) -> dict:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
@@ -146,10 +210,40 @@ class _CacheHandle:
         self.horizon = horizon
         self.refs = 0
         self.retired = False
-        #: in-flight coalescing futures keyed by ``(t0, t1)``
-        self.inflight: dict[tuple[int, int], asyncio.Future] = {}
+        #: in-flight coalesced compositions keyed by ``(t0, t1)``
+        self.inflight: dict[tuple[int, int], _Inflight] = {}
         #: base-tile indices already queued for prefetch
         self.prefetched: set[int] = set()
+
+
+class _Inflight:
+    """One coalesced composition: shared future + waiter deadlines.
+
+    Waiters register their deadlines on the event loop; the executor
+    job reads them (GIL-ordered against the appends) right before
+    composing, so work every waiter has already abandoned is never
+    started.  ``no_deadline`` latches when any waiter has no deadline —
+    such a composition is never abandoned.
+    """
+
+    __slots__ = ("fut", "deadlines", "no_deadline")
+
+    def __init__(self, fut: asyncio.Future) -> None:
+        self.fut = fut
+        self.deadlines: list[float] = []
+        self.no_deadline = False
+
+    def register(self, dl: Deadline) -> None:
+        if dl.at is None:
+            self.no_deadline = True
+        else:
+            self.deadlines.append(dl.at)
+
+    def abandoned(self, now: float) -> bool:
+        """True iff every registered waiter's deadline has passed."""
+        if self.no_deadline or not self.deadlines:
+            return False
+        return all(at <= now for at in self.deadlines)
 
 
 def _require_int(header: dict, name: str, minimum: int | None = None) -> int:
@@ -214,6 +308,12 @@ class NetworkQueryService:
             retry_after=self.config.retry_after,
             assume_nnz_per_hour=self.config.assume_nnz_per_hour,
         )
+        self.shedder = LoadShedder(
+            limit=self.config.queue_limit,
+            shed_inflight_age=self.config.shed_inflight_age,
+            retry_after=self.config.retry_after,
+        )
+        self.health = HealthMonitor()
         self._handles: dict[str, _CacheHandle] = {}
         self._handle_futures: dict[str, asyncio.Future] = {}
         self._retired: list[_CacheHandle] = []
@@ -221,7 +321,12 @@ class NetworkQueryService:
         self._executor: ThreadPoolExecutor | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._inflight = 0
+        #: set whenever _inflight is zero; stop() waits on it instead of
+        #: polling, and the last in-flight exit signals it
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._draining = False
+        self._stopping = False
         self._stopped = asyncio.Event()
         self._started = False
         self._prefetch_task: asyncio.Task | None = None
@@ -252,20 +357,38 @@ class NetworkQueryService:
         self._server = await asyncio.start_server(
             self._handle_conn, host=self.config.host, port=self.config.port
         )
+        self.health.to_ready()
         return self
 
     async def stop(self) -> None:
-        """Drain in-flight requests, then close everything (idempotent)."""
-        if self._stopped.is_set():
+        """Drain in-flight requests, then close everything (idempotent).
+
+        The drain waits on the idle event signalled by the last
+        in-flight exit — no polling — bounded by ``drain_timeout``.
+        New requests arriving mid-drain are *answered* with
+        ``shutting-down`` (the listener stays open until the drain
+        completes, so a connection racing the shutdown never hangs on an
+        unreachable port with bytes half-sent).  A writer that cannot
+        finish by the deadline is force-aborted rather than waited on
+        forever.
+        """
+        if self._stopping:
+            await self._stopped.wait()
             return
+        self._stopping = True
         self._draining = True
+        self.health.to_draining()
+        clean = True
+        if self._inflight > 0:
+            try:
+                await asyncio.wait_for(
+                    self._idle.wait(), self.config.drain_timeout
+                )
+            except asyncio.TimeoutError:
+                clean = False
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        loop = asyncio.get_running_loop()
-        deadline = loop.time() + self.config.drain_timeout
-        while self._inflight > 0 and loop.time() < deadline:
-            await asyncio.sleep(0.01)
         if self._prefetch_task is not None:
             self._prefetch_task.cancel()
             try:
@@ -274,7 +397,15 @@ class NetworkQueryService:
                 pass
             self._prefetch_task = None
         for writer in list(self._writers):
-            writer.close()
+            if clean:
+                writer.close()
+            else:
+                # a stalled response write must not outlive the drain
+                # deadline: reset the connection instead of joining it
+                try:
+                    writer.transport.abort()
+                except (AttributeError, RuntimeError):
+                    writer.close()
         self._writers.clear()
         for handle in list(self._handles.values()) + self._retired:
             handle.retired = True
@@ -282,7 +413,10 @@ class NetworkQueryService:
         self._handles.clear()
         self._retired.clear()
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # after a timed-out drain an executor thread may be wedged in
+            # a composition; joining it would hang stop() forever
+            self._executor.shutdown(wait=clean, cancel_futures=not clean)
+        self.health.to_stopped()
         self._stopped.set()
 
     async def wait_stopped(self) -> None:
@@ -401,39 +535,92 @@ class NetworkQueryService:
 
     # -- coalesced composition ------------------------------------------------
 
-    async def _coalesced_window(self, key: str, t0: int, t1: int):
-        """One window composition per in-flight ``(cache, t0, t1)``."""
-        handle = await self._get_handle(key)
+    def _start_composition(
+        self, handle: _CacheHandle, wkey: tuple[int, int]
+    ) -> _Inflight:
+        """Launch one composition on the executor, owning its own cache
+        reference so it survives every waiter abandoning it (deadline
+        timeouts must not yank a cache out from under a running build)."""
+        loop = asyncio.get_running_loop()
+        entry = _Inflight(loop.create_future())
+        handle.inflight[wkey] = entry
         handle.refs += 1
-        try:
-            wkey = (t0, t1)
-            fut = handle.inflight.get(wkey)
-            if fut is not None:
-                self.stats.coalesced += 1
-                net = await fut
-            else:
-                loop = asyncio.get_running_loop()
-                fut = loop.create_future()
-                handle.inflight[wkey] = fut
-                self.stats.compositions += 1
-                try:
-                    net = await loop.run_in_executor(
-                        self._executor, handle.cache.query_window, t0, t1
-                    )
-                except Exception as exc:
-                    fut.set_exception(exc)
-                    fut.exception()  # followers may be absent
-                    raise
-                else:
-                    fut.set_result(net)
-                finally:
-                    handle.inflight.pop(wkey, None)
-            self.admission.observe(t1 - t0, net.n_edges)
-            self._note_span(handle, t0, t1)
-            return net
-        finally:
+        self.stats.compositions += 1
+        t0, t1 = wkey
+
+        def job():
+            # executor-queue expiry: work every waiter has abandoned by
+            # dequeue time is rejected, not silently executed
+            if entry.abandoned(time.monotonic()):
+                raise DeadlineError(
+                    f"composition of [{t0}, {t1}) abandoned: every "
+                    "waiter's deadline expired before it was dequeued",
+                    code="expired",
+                )
+            return handle.cache.query_window(t0, t1)
+
+        exec_fut = loop.run_in_executor(self._executor, job)
+
+        def _done(f: asyncio.Future) -> None:
+            # pop before resolving so a waiter retrying on abandonment
+            # becomes a fresh leader instead of re-joining this entry
+            if handle.inflight.get(wkey) is entry:
+                del handle.inflight[wkey]
             handle.refs -= 1
             self._maybe_close(handle)
+            exc = f.exception()
+            if exc is not None:
+                entry.fut.set_exception(exc)
+                entry.fut.exception()  # waiters may all be gone
+            else:
+                entry.fut.set_result(f.result())
+
+        exec_fut.add_done_callback(_done)
+        return entry
+
+    async def _coalesced_window(
+        self, key: str, t0: int, t1: int, dl: Deadline
+    ):
+        """One window composition per in-flight ``(cache, t0, t1)``.
+
+        Waiting is bounded by the request's deadline; the composition
+        itself is shared and keeps running for coalesced peers even if
+        this waiter times out.  A waiter handed a peer-abandonment
+        (every *earlier* waiter expired before the build was dequeued)
+        recomposes as a new leader while it still has budget.
+        """
+        while True:
+            handle = await self._get_handle(key)
+            wkey = (t0, t1)
+            entry = handle.inflight.get(wkey)
+            if entry is None:
+                entry = self._start_composition(handle, wkey)
+            else:
+                self.stats.coalesced += 1
+            entry.register(dl)
+            handle.refs += 1
+            try:
+                try:
+                    net = await asyncio.wait_for(
+                        asyncio.shield(entry.fut), dl.remaining()
+                    )
+                except asyncio.TimeoutError:
+                    self.stats.deadline_timeouts += 1
+                    raise DeadlineError(
+                        f"deadline exceeded composing [{t0}, {t1})"
+                    ) from None
+                except DeadlineError:
+                    if dl.expired:
+                        raise
+                    # our registration raced the executor's abandonment
+                    # check; we still have budget, so compose again
+                    continue
+                self.admission.observe(t1 - t0, net.n_edges)
+                self._note_span(handle, t0, t1)
+                return net
+            finally:
+                handle.refs -= 1
+                self._maybe_close(handle)
 
     # -- prefetch -------------------------------------------------------------
 
@@ -461,6 +648,17 @@ class NetworkQueryService:
             handle, idx = await self._prefetch_queue.get()
             try:
                 if not handle.retired:
+                    # prefetch is the lowest admission class: under load
+                    # it is shed (and un-marked, so a later quiet-period
+                    # query can queue the tile again) before any client
+                    # query is
+                    try:
+                        token = self.shedder.admit(PRIORITY_PREFETCH)
+                    except OverloadError:
+                        self.stats.shed_prefetch += 1
+                        handle.prefetched.discard(idx)
+                        self._prefetch_queue.task_done()
+                        continue
                     handle.refs += 1
                     try:
                         built = await loop.run_in_executor(
@@ -471,6 +669,7 @@ class NetworkQueryService:
                         )
                         self.stats.prefetched_tiles += built
                     finally:
+                        self.shedder.release(token)
                         handle.refs -= 1
                         self._maybe_close(handle)
             except asyncio.CancelledError:
@@ -515,16 +714,30 @@ class NetworkQueryService:
                 ):
                     break  # peer went away between requests
                 self._inflight += 1
+                self._idle.clear()
                 try:
                     resp_header, resp_blob = await self._dispatch(header)
                     try:
                         write_frame(writer, resp_header, resp_blob)
-                        await writer.drain()
+                        await asyncio.wait_for(
+                            writer.drain(), self.config.write_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        # stalled client socket: reset it rather than
+                        # park this handler (and the drain) forever
+                        self.stats.slow_writes += 1
+                        try:
+                            writer.transport.abort()
+                        except (AttributeError, RuntimeError):
+                            pass
+                        break
                     except (ConnectionError, OSError):
                         self.stats.disconnects += 1
                         break
                 finally:
                     self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
         finally:
             self._writers.discard(writer)
             writer.close()
@@ -533,11 +746,31 @@ class NetworkQueryService:
             except (ConnectionError, OSError):
                 pass
 
+    #: ops that produce network answers — deadline-checked, sheddable
+    _QUERY_OPS = frozenset({"window", "layer", "ego", "degrees"})
+    #: control plane — never shed, answered even mid-drain
+    _CONTROL_OPS = frozenset({"ping", "stats", "live", "ready"})
+
+    def _parse_deadline(self, header: dict) -> Deadline:
+        """The request's effective deadline: the client budget capped by
+        the server-side default (which also covers budget-less requests)."""
+        raw = header.get("deadline")
+        if raw is None:
+            return Deadline.after(self.config.default_deadline)
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise ServiceError(
+                "'deadline' must be a number of seconds", code="bad-request"
+            )
+        budget = float(raw)
+        if self.config.default_deadline is not None:
+            budget = min(budget, self.config.default_deadline)
+        return Deadline.after(budget)
+
     async def _dispatch(self, header: dict) -> tuple[dict, bytes]:
         rid = header.get("id")
         op = header.get("op")
         self.stats.requests += 1
-        if self._draining and op not in ("ping", "stats"):
+        if self._draining and op not in self._CONTROL_OPS:
             return (
                 error_response(rid, "server is draining", "shutting-down"),
                 b"",
@@ -548,10 +781,26 @@ class NetworkQueryService:
                 error_response(rid, f"unknown op {op!r}", "bad-request"),
                 b"",
             )
+        shed_token = None
         try:
-            return await handler(self, rid, header)
-        except AdmissionError as exc:
-            self.stats.rejections += 1
+            dl = self._parse_deadline(header)
+            # dead-on-arrival work is rejected before it can queue
+            if dl.expired:
+                self.stats.expired += 1
+                raise DeadlineError(
+                    "deadline already expired on arrival", code="expired"
+                )
+            if op in self._QUERY_OPS:
+                try:
+                    shed_token = self.shedder.admit(PRIORITY_QUERY)
+                except OverloadError:
+                    self.stats.shed += 1
+                    self.health.note_shed()
+                    raise
+            return await handler(self, rid, header, dl)
+        except (AdmissionError, OverloadError) as exc:
+            if isinstance(exc, AdmissionError):
+                self.stats.rejections += 1
             return (
                 error_response(
                     rid, str(exc), exc.code, retry_after=exc.retry_after
@@ -571,6 +820,9 @@ class NetworkQueryService:
                 ),
                 b"",
             )
+        finally:
+            if shed_token is not None:
+                self.shedder.release(shed_token)
 
     # -- ops ------------------------------------------------------------------
 
@@ -581,7 +833,25 @@ class NetworkQueryService:
                                code="bad-request")
         return tenant
 
-    async def _admitted_window(self, header: dict, key: str):
+    async def _bounded_executor(self, dl: Deadline, fn, *args):
+        """Run ``fn`` on the executor, waiting at most the remaining
+        deadline budget.  The executor job itself is not interrupted
+        (threads cannot be), but this waiter stops holding admission and
+        connection state for it the moment the budget runs out."""
+        loop = asyncio.get_running_loop()
+        fut = loop.run_in_executor(self._executor, fn, *args)
+        try:
+            return await asyncio.wait_for(asyncio.shield(fut), dl.remaining())
+        except asyncio.TimeoutError:
+            self.stats.deadline_timeouts += 1
+            fut.add_done_callback(
+                lambda f: f.exception()  # abandoned: mark retrieved
+            )
+            raise DeadlineError(
+                "deadline exceeded encoding the response"
+            ) from None
+
+    async def _admitted_window(self, header: dict, key: str, dl: Deadline):
         """Parse, admit, compose, encode-release: the shared query core.
 
         Returns ``(net, t0, t1, release)`` — the caller must invoke
@@ -600,21 +870,34 @@ class NetworkQueryService:
                 self.admission.release(tenant, cost)
 
         try:
-            net = await self._coalesced_window(key, t0, t1)
+            net = await self._coalesced_window(key, t0, t1, dl)
         except BaseException:
             release()
             raise
         return net, t0, t1, release
 
-    async def _op_ping(self, rid, header) -> tuple[dict, bytes]:
+    async def _op_ping(self, rid, header, dl) -> tuple[dict, bytes]:
         return ok_response(rid, pong=True, draining=self._draining), b""
 
-    async def _op_window(self, rid, header) -> tuple[dict, bytes]:
-        net, t0, t1, release = await self._admitted_window(header, _FULL)
+    async def _op_live(self, rid, header, dl) -> tuple[dict, bytes]:
+        return ok_response(rid, **self.health.liveness()), b""
+
+    async def _op_ready(self, rid, header, dl) -> tuple[dict, bytes]:
+        return (
+            ok_response(
+                rid,
+                **self.health.readiness(
+                    queue_depth=self.shedder.depth,
+                    queue_limit=self.shedder.limit,
+                ),
+            ),
+            b"",
+        )
+
+    async def _op_window(self, rid, header, dl) -> tuple[dict, bytes]:
+        net, t0, t1, release = await self._admitted_window(header, _FULL, dl)
         try:
-            blob = await asyncio.get_running_loop().run_in_executor(
-                self._executor, encode_network, net
-            )
+            blob = await self._bounded_executor(dl, encode_network, net)
         finally:
             release()
         return (
@@ -629,17 +912,15 @@ class NetworkQueryService:
             blob,
         )
 
-    async def _op_layer(self, rid, header) -> tuple[dict, bytes]:
+    async def _op_layer(self, rid, header, dl) -> tuple[dict, bytes]:
         kind = header.get("kind")
         if not isinstance(kind, str):
             raise ServiceError("'kind' must be a string", code="bad-request")
         net, t0, t1, release = await self._admitted_window(
-            header, kind.lower()
+            header, kind.lower(), dl
         )
         try:
-            blob = await asyncio.get_running_loop().run_in_executor(
-                self._executor, encode_network, net
-            )
+            blob = await self._bounded_executor(dl, encode_network, net)
         finally:
             release()
         return (
@@ -655,15 +936,14 @@ class NetworkQueryService:
             blob,
         )
 
-    async def _op_ego(self, rid, header) -> tuple[dict, bytes]:
+    async def _op_ego(self, rid, header, dl) -> tuple[dict, bytes]:
         person = _require_int(header, "person", minimum=0)
         radius = header.get("radius", self.config.ego_radius)
         if isinstance(radius, bool) or not isinstance(radius, int) or radius < 1:
             raise ServiceError(
                 "'radius' must be a positive integer", code="bad-request"
             )
-        net, t0, t1, release = await self._admitted_window(header, _FULL)
-        loop = asyncio.get_running_loop()
+        net, t0, t1, release = await self._admitted_window(header, _FULL, dl)
         try:
             def _build() -> tuple[bytes, int, int]:
                 ego = ego_network(net, person, radius=radius)
@@ -675,9 +955,7 @@ class NetworkQueryService:
                 )
                 return blob, ego.n_nodes, ego.n_edges
 
-            blob, n_nodes, n_edges = await loop.run_in_executor(
-                self._executor, _build
-            )
+            blob, n_nodes, n_edges = await self._bounded_executor(dl, _build)
         finally:
             release()
         return (
@@ -693,15 +971,14 @@ class NetworkQueryService:
             blob,
         )
 
-    async def _op_degrees(self, rid, header) -> tuple[dict, bytes]:
+    async def _op_degrees(self, rid, header, dl) -> tuple[dict, bytes]:
         kind = header.get("kind")
         if kind is not None and not isinstance(kind, str):
             raise ServiceError(
                 "'kind' must be a string when given", code="bad-request"
             )
         key = kind.lower() if kind is not None else _FULL
-        net, t0, t1, release = await self._admitted_window(header, key)
-        loop = asyncio.get_running_loop()
+        net, t0, t1, release = await self._admitted_window(header, key, dl)
         try:
             def _summarize() -> dict:
                 dist = degree_distribution(net.degrees())
@@ -721,12 +998,12 @@ class NetworkQueryService:
                     "counts": dist.counts.tolist(),
                 }
 
-            summary = await loop.run_in_executor(self._executor, _summarize)
+            summary = await self._bounded_executor(dl, _summarize)
         finally:
             release()
         return ok_response(rid, **summary), b""
 
-    async def _op_stats(self, rid, header) -> tuple[dict, bytes]:
+    async def _op_stats(self, rid, header, dl) -> tuple[dict, bytes]:
         caches = {}
         for key, handle in self._handles.items():
             s = handle.cache.stats
@@ -740,24 +1017,31 @@ class NetworkQueryService:
                 "tiles_built": s.tiles_built,
                 "tiles_merged": s.tiles_merged,
                 "evictions": s.evictions,
+                "tiles_quarantined": s.tiles_quarantined,
                 "cached_nnz": handle.cache.cached_nnz,
                 "quarantined": list(handle.cache.quarantined),
+                "quarantined_tiles": list(handle.cache.quarantined_tiles),
             }
         return (
             ok_response(
                 rid,
                 stats=self.stats.snapshot(),
                 admission=self.admission.snapshot(),
+                shedder=self.shedder.snapshot(),
+                health={
+                    "state": self.health.state,
+                    "uptime": round(self.health.uptime, 3),
+                },
                 caches=caches,
             ),
             b"",
         )
 
-    async def _op_reload(self, rid, header) -> tuple[dict, bytes]:
+    async def _op_reload(self, rid, header, dl) -> tuple[dict, bytes]:
         digest = await self._reload()
         return ok_response(rid, reloaded=True, digest=digest), b""
 
-    async def _op_shutdown(self, rid, header) -> tuple[dict, bytes]:
+    async def _op_shutdown(self, rid, header, dl) -> tuple[dict, bytes]:
         # respond first; the drain starts as soon as this request's
         # response is on the wire (stop() waits for in-flight writes)
         asyncio.get_running_loop().call_soon(
@@ -767,6 +1051,8 @@ class NetworkQueryService:
 
     _OPS = {
         "ping": _op_ping,
+        "live": _op_live,
+        "ready": _op_ready,
         "window": _op_window,
         "layer": _op_layer,
         "ego": _op_ego,

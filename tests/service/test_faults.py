@@ -314,3 +314,111 @@ class TestGracefulShutdown:
         net = asyncio.run(scenario())
         # the drained query's response arrived complete and correct
         assert_bit_identical(net.adjacency, ref.adjacency)
+
+    def test_new_connection_mid_drain_is_answered_not_hung(
+        self, service_logs, small_pop
+    ):
+        """The listener stays open while the drain waits, so a client
+        racing the shutdown gets a fast ``shutting-down`` answer instead
+        of a connection refusal or a hang on half-sent bytes."""
+
+        async def scenario():
+            svc = make_service(service_logs, small_pop, prefetch_tiles=0)
+            async with svc:
+                gate = _Gate(svc._handles["full"])
+                holder = await ServiceClient(port=svc.port).connect()
+                inflight = asyncio.create_task(holder.query_window(0, 24))
+                await wait_for(gate.started.is_set)
+                stop_task = asyncio.create_task(svc.stop())
+                await wait_for(lambda: svc._draining)
+                # a brand-new connection mid-drain: accepted and answered
+                late = await ServiceClient(port=svc.port).connect()
+                with pytest.raises(ServiceError) as err:
+                    await late.query_window(0, 24)
+                assert err.value.code == "shutting-down"
+                # control ops still answer mid-drain, including probes
+                assert (await late.ping())["draining"] is True
+                assert (await late.liveness())["state"] == "draining"
+                assert (await late.readiness())["ready"] is False
+                gate.release.set()
+                await inflight
+                await stop_task
+                await holder.close()
+                await late.close()
+
+        asyncio.run(scenario())
+
+    def test_drain_timeout_force_closes_wedged_connection(
+        self, service_logs, small_pop
+    ):
+        """A composition that never finishes must not wedge stop():
+        after drain_timeout the writer is force-aborted and stop()
+        returns, with the executor torn down without joining the hung
+        thread."""
+
+        async def scenario():
+            svc = make_service(
+                service_logs, small_pop,
+                prefetch_tiles=0, executor_threads=1, drain_timeout=0.3,
+            )
+            async with svc:
+                gate = _Gate(svc._handles["full"])
+                client = await ServiceClient(port=svc.port).connect()
+                stuck = asyncio.create_task(client.query_window(0, 24))
+                await wait_for(gate.started.is_set)
+                loop = asyncio.get_running_loop()
+                start = loop.time()
+                await svc.stop()  # gate never released before this
+                assert loop.time() - start < 5.0  # bounded, not hung
+                # the wedged client was reset, not waited on
+                with pytest.raises(
+                    (ServiceError, ConnectionError, OSError,
+                     asyncio.IncompleteReadError)
+                ):
+                    await stuck
+                gate.release.set()  # unwedge the executor thread
+                await client.close()
+
+        asyncio.run(scenario())
+
+    def test_disconnect_during_response_write_counts_exactly_once(
+        self, service_logs, small_pop
+    ):
+        """A client that vanishes while its response is being written is
+        one disconnect — not one per cleanup path."""
+
+        async def scenario():
+            svc = make_service(
+                service_logs, small_pop,
+                prefetch_tiles=0, executor_threads=1,
+            )
+            async with svc:
+                gate = threading.Event()
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", svc.port
+                    )
+                    svc._executor.submit(gate.wait)
+                    payload = b'{"op":"window","id":1,"t0":0,"t1":336}'
+                    writer.write(struct.pack(">I", len(payload)) + payload)
+                    await writer.drain()
+                    await wait_for(lambda: svc.stats.queries == 1)
+                    sock = writer.get_extra_info("socket")
+                    sock.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                    writer.close()
+                    gate.set()
+                    await wait_for(lambda: svc.stats.disconnects >= 1)
+                finally:
+                    gate.set()
+                # settle every cleanup path, then recount
+                async with ServiceClient(port=svc.port) as probe:
+                    for _ in range(3):
+                        await probe.ping()
+                assert svc.stats.disconnects == 1
+                assert svc.stats.errors == 0
+
+        asyncio.run(scenario())
