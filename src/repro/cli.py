@@ -162,10 +162,18 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             resume=args.resume,
             kernel=args.kernel,
             dispatch=args.dispatch,
+            backend=args.backend,
         )
     finally:
         if pool is not None:
             pool.close()
+    if args.profile:
+        from .core.kernels import backend_info
+
+        print("--- kernel backend ---")
+        for key, value in backend_info().items():
+            print(f"  {key:>14}: {value}")
+        print()
     print(report.summary())
     if report.quarantined:
         print(
@@ -194,6 +202,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         pool=pool,
         dispatch=args.dispatch,
         strict=args.strict,
+        backend=args.backend,
     )
     try:
         if cache.quarantined:
@@ -298,6 +307,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         dispatch=args.dispatch,
         strict=args.strict,
+        backend=args.backend,
         tenant_budget_nnz=args.tenant_budget_nnz,
         executor_threads=args.threads,
         prefetch_tiles=args.prefetch,
@@ -492,6 +502,17 @@ def build_parser() -> argparse.ArgumentParser:
         "byte-range descriptors (zero-copy)",
     )
     p.add_argument(
+        "--backend", choices=["auto", "scipy", "masked"], default="auto",
+        help="kernel backend: compiled masked-triangular SpGEMM (masked), "
+        "the scipy reference, or whichever is available (auto); outputs "
+        "are bit-identical",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print the resolved kernel backend and per-stage kernel "
+        "timings alongside the synthesis report",
+    )
+    p.add_argument(
         "--strict", action="store_true",
         help="fail on the first damaged log file instead of quarantining it",
     )
@@ -542,6 +563,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="how records reach tile-building workers",
     )
     p.add_argument(
+        "--backend", choices=["auto", "scipy", "masked"], default="auto",
+        help="kernel backend for tile construction (bit-identical outputs)",
+    )
+    p.add_argument(
         "--strict", action="store_true",
         help="fail on the first damaged log file instead of quarantining it",
     )
@@ -574,6 +599,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--dispatch", choices=["value", "zero-copy"], default="value",
+    )
+    p.add_argument(
+        "--backend", choices=["auto", "scipy", "masked"], default="auto",
+        help="kernel backend for tile construction (bit-identical outputs)",
     )
     p.add_argument("--strict", action="store_true")
     p.add_argument(

@@ -22,6 +22,7 @@ import scipy.sparse as sp
 
 from ..errors import SynthesisError
 from .colloc import CollocationMatrix
+from .kernels import kernel_stage, resolve_backend
 
 __all__ = [
     "place_adjacency",
@@ -52,11 +53,15 @@ def place_adjacency(colloc: CollocationMatrix, n_persons: int) -> sp.coo_matrix:
     # row < col.
     local = (x @ x.T).tocoo()  # local person × local person, hour counts
     keep = local.row < local.col
-    g = colloc.persons.astype(np.int64)
-    return sp.coo_matrix(
-        (local.data[keep].astype(np.int64), (g[local.row[keep]], g[local.col[keep]])),
-        shape=(n_persons, n_persons),
-    )
+    data = local.data[keep].astype(np.int64)
+    if len(colloc.persons) == n_persons:
+        # identity person map: the matrix covers the whole population, so
+        # local coordinates already are global — skip the gather
+        rows, cols = local.row[keep], local.col[keep]
+    else:
+        g = colloc.persons.astype(np.int64)
+        rows, cols = g[local.row[keep]], g[local.col[keep]]
+    return sp.coo_matrix((data, (rows, cols)), shape=(n_persons, n_persons))
 
 
 def empty_adjacency(n_persons: int) -> sp.csr_matrix:
@@ -71,8 +76,37 @@ def accumulate_adjacency(
     """Sum adjacency contributions into one deduplicated CSR.
 
     Concatenates all COO triples and lets one ``tocsr`` do the merge —
-    far cheaper than repeated ``csr + csr`` for many small parts.
+    ``tocsr`` already sums duplicate coordinates and sorts indices, so the
+    result is canonical without a separate ``sum_duplicates`` pass.  Far
+    cheaper than repeated ``csr + csr`` for many small parts.
+
+    A single already-canonical CSR part (the common shape under a serial
+    pool, where one worker returns the whole batch sum) skips the COO
+    round trip entirely: only the bounds and triangularity checks run.
     """
+    parts = list(parts)
+    if (
+        len(parts) == 1
+        and sp.issparse(parts[0])
+        and parts[0].format == "csr"
+        and parts[0].has_canonical_format
+        and parts[0].data.dtype == np.int64
+    ):
+        out = parts[0]
+        if out.shape != (n_persons, n_persons):
+            raise SynthesisError("adjacency part shaped outside population")
+        if out.nnz == 0:
+            return empty_adjacency(n_persons)
+        # strict upper triangle iff every row's smallest column index
+        # exceeds the row number (indices are sorted: first = smallest)
+        counts = np.diff(out.indptr)
+        occupied = np.flatnonzero(counts)
+        first_col = out.indices[out.indptr[occupied]]
+        if np.any(first_col <= occupied):
+            raise SynthesisError(
+                "accumulate_adjacency expects strict upper triangles"
+            )
+        return out
     row_parts: list[np.ndarray] = []
     col_parts: list[np.ndarray] = []
     data_parts: list[np.ndarray] = []
@@ -84,9 +118,12 @@ def accumulate_adjacency(
         # bounds every entry without rescanning the index arrays
         if coo.shape != (n_persons, n_persons):
             raise SynthesisError("adjacency part shaped outside population")
-        row_parts.append(coo.row.astype(np.int64))
-        col_parts.append(coo.col.astype(np.int64))
-        data_parts.append(coo.data.astype(np.int64))
+        # coordinate dtype is whatever scipy indexed with (int32 for
+        # in-bounds shapes); coo_matrix below accepts any integer dtype,
+        # so no astype copies here — only the weights are fixed to int64
+        row_parts.append(coo.row)
+        col_parts.append(coo.col)
+        data_parts.append(coo.data.astype(np.int64, copy=False))
     if not row_parts:
         return empty_adjacency(n_persons)
     rows = np.concatenate(row_parts)
@@ -94,11 +131,9 @@ def accumulate_adjacency(
     data = np.concatenate(data_parts)
     if np.any(rows >= cols):
         raise SynthesisError("accumulate_adjacency expects strict upper triangles")
-    out = sp.coo_matrix(
+    return sp.coo_matrix(
         (data, (rows, cols)), shape=(n_persons, n_persons)
     ).tocsr()
-    out.sum_duplicates()
-    return out
 
 
 def triu_symmetrize(adj: sp.spmatrix) -> sp.csr_matrix:
@@ -108,13 +143,42 @@ def triu_symmetrize(adj: sp.spmatrix) -> sp.csr_matrix:
 
 
 def sum_adjacency_list(
-    matrices: Sequence[CollocationMatrix], n_persons: int
+    matrices: Sequence[CollocationMatrix],
+    n_persons: int,
+    backend: str | None = None,
 ) -> sp.csr_matrix:
     """A worker's job: ``Σ place_adjacency(x)`` over its matrix share.
 
     "Each worker finally sums the set of adjacency matrices it has created
     and returns a single adjacency matrix to the root process."
+
+    Under the ``masked`` backend the per-place products run in the
+    compiled masked-triangular SpGEMM: collocation matrices are binary
+    (one nonzero per person-hour), so ``x·xᵀ`` is the weighted pattern
+    product with unit column weights.
     """
-    return accumulate_adjacency(
-        (place_adjacency(m, n_persons) for m in matrices), n_persons
-    )
+    live = [m for m in matrices if m.matrix.nnz]
+    if not live:
+        return empty_adjacency(n_persons)
+    if resolve_backend(backend) == "masked":
+        for m in live:
+            if m.persons.size and int(m.persons.max()) >= n_persons:
+                raise SynthesisError(
+                    "collocation matrix references person outside population"
+                )
+        from .kernels.masked import sum_shares_adjacency
+
+        ones = np.ones(max(m.matrix.shape[1] for m in live), dtype=np.int64)
+        out = sum_shares_adjacency(
+            [
+                (m.matrix, ones[: m.matrix.shape[1]], m.persons.astype(np.int64))
+                for m in live
+            ],
+            n_persons,
+        )
+        if out is not None:
+            return out
+    with kernel_stage("spgemm"):
+        parts = [place_adjacency(m, n_persons) for m in live]
+    with kernel_stage("accumulate"):
+        return accumulate_adjacency(parts, n_persons)

@@ -40,6 +40,7 @@ from .adjacency import accumulate_adjacency, sum_adjacency_list
 from .balance import lpt_partition
 from .colloc import CollocationMatrix, collocation_matrix_for_place
 from .intervals import interval_pack_for_place, sum_pack_adjacency
+from .kernels import resolve_backend
 from .network import CollocationNetwork
 from .pipeline import _check_kernel, _chunk_groups
 from .slicing import records_by_place, slice_records
@@ -73,20 +74,24 @@ def synthesize_network_bsp(
     t1: int,
     n_ranks: int,
     kernel: str = "intervals",
+    backend: str | None = None,
 ) -> BspSynthesisResult:
     """Synthesize the collocation network on a simulated MPI cluster.
 
     ``kernel`` selects the collocation unit each rank builds in stage 2 —
     per-place interval packs (default) or per-place dense-hour matrices —
     and the matching stage-3 balancing weight (pairwise work / presence
-    nnz).  Output is bit-identical across kernels and to the task-pool
-    pipeline.
+    nnz).  ``backend`` selects the stage-4 arithmetic (see
+    :mod:`repro.core.kernels`); it is resolved once here so every rank
+    runs the same concrete backend.  Output is bit-identical across
+    kernels and backends and to the task-pool pipeline.
     """
     if n_persons <= 0:
         raise SynthesisError("n_persons must be positive")
     if n_ranks < 1:
         raise SynthesisError("need at least one rank")
     _check_kernel(kernel)
+    backend = resolve_backend(backend)
 
     def rank_fn(comm: Communicator):
         rank = comm.rank
@@ -157,9 +162,9 @@ def synthesize_network_bsp(
 
         # --- stage 4: adjacency + reduction --------------------------------
         if kernel == "intervals":
-            partial = sum_pack_adjacency(my_share, n_persons)
+            partial = sum_pack_adjacency(my_share, n_persons, backend=backend)
         else:
-            partial = sum_adjacency_list(my_share, n_persons)
+            partial = sum_adjacency_list(my_share, n_persons, backend=backend)
         total = comm.reduce_with(partial, lambda a, b: a + b, root=0)
         return total, len(matrices), moved
 
@@ -190,6 +195,7 @@ def synthesize_from_logs_bsp(
     strict: bool = False,
     kernel: str = "intervals",
     cache=None,
+    backend: str | None = None,
 ) -> BspSynthesisResult:
     """Batched from-logs synthesis on the simulated MPI cluster.
 
@@ -248,7 +254,7 @@ def synthesize_from_logs_bsp(
             continue
         records = np.concatenate(parts) if len(parts) > 1 else parts[0]
         result = synthesize_network_bsp(
-            records, n_persons, t0, t1, n_ranks, kernel=kernel
+            records, n_persons, t0, t1, n_ranks, kernel=kernel, backend=backend
         )
         network = (
             result.network if network is None else network + result.network

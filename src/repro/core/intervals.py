@@ -40,10 +40,13 @@ from ..errors import SynthesisError
 from ..evlog.schema import LOG_DTYPE, LogRecordArray
 from .adjacency import accumulate_adjacency, empty_adjacency
 from .colloc import _expand_intervals
+from .kernels import resolve_backend
+from .kernels.workspace import kernel_stage
 
 __all__ = [
     "IntervalPack",
     "build_interval_pack",
+    "build_interval_pack_columns",
     "interval_pack_for_place",
     "select_pack_places",
     "merge_packs",
@@ -186,35 +189,71 @@ def _finish_pack(
 
 
 def build_interval_pack(
-    records: LogRecordArray, t0: int, t1: int
+    records: LogRecordArray, t0: int, t1: int, backend: str | None = None
 ) -> IntervalPack:
     """Build the interval-overlap presence pack for a set of records.
 
     Records must be clipped to ``[t0, t1)`` and may cover any number of
     places, in any order.  Fully vectorized: one boundary sort, one
     segment expansion, one COO->CSR conversion for all places together.
+    ``backend`` selects the kernel backend (see
+    :mod:`repro.core.kernels`); every backend builds a bit-identical
+    pack.
     """
     records = np.asarray(records, dtype=LOG_DTYPE)
     if len(records) == 0:
         raise SynthesisError("cannot build an interval pack from no records")
-    starts = records["start"].astype(np.int64)
-    stops = records["stop"].astype(np.int64)
+    return build_interval_pack_columns(
+        records["start"].astype(np.int64),
+        records["stop"].astype(np.int64),
+        records["person"].astype(np.int64),
+        records["place"].astype(np.int64),
+        t0,
+        t1,
+        backend=backend,
+    )
+
+
+def build_interval_pack_columns(
+    starts: np.ndarray,
+    stops: np.ndarray,
+    person: np.ndarray,
+    place: np.ndarray,
+    t0: int,
+    t1: int,
+    backend: str | None = None,
+) -> IntervalPack:
+    """Columnar twin of :func:`build_interval_pack`.
+
+    Takes the four int64 record columns directly — the zero-copy
+    dispatch path decodes mmap'd chunks straight into columns (no
+    intermediate struct-record copies) and lands here.
+    """
+    if len(starts) == 0:
+        raise SynthesisError("cannot build an interval pack from no records")
     if starts.min() < t0 or stops.max() > t1:
         raise SynthesisError("records extend outside the slice; clip first")
-    place = records["place"].astype(np.uint64)
-    key_start = (place << _PLACE_SHIFT) | starts.astype(np.uint64)
-    key_stop = (place << _PLACE_SHIFT) | stops.astype(np.uint64)
-    ukeys, inv = np.unique(
-        np.concatenate((key_start, key_stop)), return_inverse=True
-    )
-    inv = inv.reshape(-1)  # numpy >= 2.1 preserves input shape
-    lo, hi = inv[: len(records)], inv[len(records) :]
-    upl = (ukeys >> _PLACE_SHIFT).astype(np.int64)
-    rank = np.cumsum(np.concatenate(([True], upl[1:] != upl[:-1]))) - 1
-    # a record's boundaries belong to its own place: rank[lo] == rank[hi]
-    rec_rows, cols = _expand_intervals(lo - rank[lo], hi - rank[hi])
-    persons, local = np.unique(records["person"], return_inverse=True)
-    return _finish_pack(ukeys, local[rec_rows], cols, persons, t0, t1)
+    with kernel_stage("pack_build"):
+        if resolve_backend(backend) == "masked":
+            from .kernels.masked import build_pack_arrays
+
+            fields = build_pack_arrays(starts, stops, person, place, t0, t1)
+            if fields is not None:
+                return IntervalPack(t0=int(t0), t1=int(t1), **fields)
+        placeu = place.astype(np.uint64)
+        key_start = (placeu << _PLACE_SHIFT) | starts.astype(np.uint64)
+        key_stop = (placeu << _PLACE_SHIFT) | stops.astype(np.uint64)
+        ukeys, inv = np.unique(
+            np.concatenate((key_start, key_stop)), return_inverse=True
+        )
+        inv = inv.reshape(-1)  # numpy >= 2.1 preserves input shape
+        lo, hi = inv[: len(starts)], inv[len(starts) :]
+        upl = (ukeys >> _PLACE_SHIFT).astype(np.int64)
+        rank = np.cumsum(np.concatenate(([True], upl[1:] != upl[:-1]))) - 1
+        # a record's boundaries belong to its own place: rank[lo] == rank[hi]
+        rec_rows, cols = _expand_intervals(lo - rank[lo], hi - rank[hi])
+        persons, local = np.unique(person, return_inverse=True)
+        return _finish_pack(ukeys, local[rec_rows], cols, persons, t0, t1)
 
 
 def interval_pack_for_place(
@@ -322,7 +361,9 @@ def merge_packs(packs: Sequence[IntervalPack]) -> IntervalPack:
 
 
 def sum_pack_adjacency(
-    packs: Sequence[IntervalPack | None], n_persons: int
+    packs: Sequence[IntervalPack | None],
+    n_persons: int,
+    backend: str | None = None,
 ) -> sp.csr_matrix:
     """A worker's stage-4 job: pairwise collocated hours over its share.
 
@@ -332,27 +373,53 @@ def sum_pack_adjacency(
     structurally zero and cost nothing).  Output is the same strict
     upper-triangular CSR :func:`~repro.core.adjacency.sum_adjacency_list`
     produces from the legacy matrices.
+
+    Under the ``masked`` backend the product runs in the compiled
+    masked-triangular SpGEMM (upper pairs only, shared pooled output
+    triples); the scipy product below stays the bit-identical reference.
     """
     live = [p for p in packs if p is not None and p.matrix.nnz]
     if not live:
         return empty_adjacency(n_persons)
-    parts = []
     for pack in live:
         if pack.persons.size and int(pack.persons.max()) >= n_persons:
             raise SynthesisError("pack references person outside population")
-        x = pack.matrix
-        xw = x.copy()
-        xw.data = pack.col_weight[x.indices].astype(np.int64)
-        local = (xw @ x.T).tocoo()
-        keep = local.row < local.col  # persons sorted: local == global order
-        g = pack.persons.astype(np.int64)
-        parts.append(
-            sp.coo_matrix(
+    if resolve_backend(backend) == "masked":
+        from .kernels.masked import sum_shares_adjacency
+
+        out = sum_shares_adjacency(
+            [
                 (
-                    local.data[keep].astype(np.int64),
-                    (g[local.row[keep]], g[local.col[keep]]),
-                ),
-                shape=(n_persons, n_persons),
-            )
+                    p.matrix,
+                    p.col_weight.astype(np.int64, copy=False),
+                    p.persons.astype(np.int64, copy=False),
+                )
+                for p in live
+            ],
+            n_persons,
         )
-    return accumulate_adjacency(parts, n_persons)
+        if out is not None:
+            return out
+    parts = []
+    with kernel_stage("spgemm"):
+        for pack in live:
+            x = pack.matrix
+            xw = x.copy()
+            xw.data = pack.col_weight[x.indices].astype(np.int64)
+            local = (xw @ x.T).tocoo()
+            keep = local.row < local.col  # persons sorted: local == global
+            data = local.data[keep].astype(np.int64)
+            if pack.n_persons == n_persons:
+                # identity person map: the pack covers the whole
+                # population, so local coordinates already are global
+                rows, cols = local.row[keep], local.col[keep]
+            else:
+                g = pack.persons.astype(np.int64, copy=False)
+                rows, cols = g[local.row[keep]], g[local.col[keep]]
+            parts.append(
+                sp.coo_matrix(
+                    (data, (rows, cols)), shape=(n_persons, n_persons)
+                )
+            )
+    with kernel_stage("accumulate"):
+        return accumulate_adjacency(parts, n_persons)

@@ -1,0 +1,51 @@
+"""Numba-jitted masked SpGEMM (the ``[fast]`` optional extra).
+
+Jits the reference loops from :mod:`.pyref` verbatim — one algorithm,
+three executables (C, numba, interpreted python).  Import is lazy and
+failure-tolerant: without numba installed this module simply reports
+"unavailable" and the backend resolver falls through to the C extension
+or the scipy/numpy reference path.
+
+``cache=True`` persists the compiled machine code next to numba's own
+cache so only the first process ever pays the jit; ``nogil=True``
+releases the GIL for the tile-cache's threaded executors.
+"""
+
+from __future__ import annotations
+
+__all__ = ["load_numba_kernels", "numba_available"]
+
+#: (masked_spgemm, csr_to_csc, pack_triples, keys_to_csr, fill_values)
+#: jitted tuple, False when numba is missing or jitting failed, None
+#: before the first attempt
+_kernels: "tuple | bool | None" = None
+
+
+def load_numba_kernels() -> "tuple | None":
+    """The jitted ``(masked_spgemm, csr_to_csc, pack_triples,
+    keys_to_csr, fill_values)`` tuple, or None."""
+    global _kernels
+    if _kernels is not None:
+        return _kernels or None
+    try:
+        import numba
+
+        from . import pyref
+
+        jit = numba.njit(cache=True, nogil=True)
+        _kernels = (
+            jit(pyref.masked_spgemm),
+            jit(pyref.csr_to_csc),
+            jit(pyref.pack_triples),
+            jit(pyref.keys_to_csr),
+            jit(pyref.fill_values),
+        )
+    except Exception:
+        _kernels = False
+        return None
+    return _kernels
+
+
+def numba_available() -> bool:
+    """Whether numba is installed and the reference loops jitted."""
+    return load_numba_kernels() is not None

@@ -1,0 +1,121 @@
+"""Pooled kernel workspaces and per-stage kernel timings.
+
+The compiled kernels are deliberately allocation-free: every scratch
+array (Gustavson accumulator, marker, touched-row list, derived-CSR
+buffers, packed sort keys, output triple buffers) comes from a
+:class:`KernelWorkspace` that is reused across packs and batches instead
+of reallocated per place-group.  Workspaces are per-thread (the tile
+cache runs kernels from executor threads) and grow geometrically, so a
+steady-state synthesis run performs zero scratch allocations after the
+first batch.
+
+This module also keeps the per-stage kernel clocks (``pack_build``,
+``spgemm``, ``accumulate``) that :class:`~repro.core.pipeline.SynthesisReport`
+surfaces and ``repro synth --profile`` prints.  Collection is a handful
+of ``perf_counter`` calls per task — cheap enough to stay always-on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "KernelWorkspace",
+    "get_workspace",
+    "kernel_stage",
+    "collect_kernel_timings",
+    "merge_kernel_timings",
+    "KERNEL_STAGES",
+]
+
+#: the attributable kernel stages, in pipeline order
+KERNEL_STAGES = ("pack_build", "spgemm", "accumulate")
+
+
+class KernelWorkspace:
+    """A named pool of growable scratch arrays.
+
+    ``take(name, size, dtype)`` returns a contiguous view of at least
+    *size* elements, reusing (and geometrically growing) one buffer per
+    name.  Contents are unspecified — kernels initialize what they read.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        #: buffers served without an allocation
+        self.hits = 0
+        #: buffers (re)allocated
+        self.grows = 0
+
+    def take(self, name: str, size: int, dtype) -> np.ndarray:
+        size = int(size)
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < size or buf.dtype != np.dtype(dtype):
+            grown = max(size, buf.size * 2 if buf is not None else 0, 1024)
+            buf = np.empty(grown, dtype=dtype)
+            self._buffers[name] = buf
+            self.grows += 1
+        else:
+            self.hits += 1
+        return buf[:size]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+_tls = threading.local()
+
+
+def get_workspace() -> KernelWorkspace:
+    """This thread's kernel workspace (created on first use)."""
+    ws = getattr(_tls, "workspace", None)
+    if ws is None:
+        ws = _tls.workspace = KernelWorkspace()
+    return ws
+
+
+def _times() -> dict:
+    t = getattr(_tls, "stage_times", None)
+    if t is None:
+        t = _tls.stage_times = {}
+    return t
+
+
+@contextmanager
+def kernel_stage(name: str):
+    """Accumulate wall time under a kernel stage for this thread."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        times = _times()
+        times[name] = times.get(name, 0.0) + (time.perf_counter() - t0)
+
+
+def collect_kernel_timings() -> dict[str, float]:
+    """Drain this thread's accumulated kernel stage times.
+
+    Worker tasks call this after building/multiplying and ship the dict
+    back with their payload; the pipeline folds the dicts into the
+    :class:`~repro.core.pipeline.SynthesisReport`.
+    """
+    times = _times()
+    out = dict(times)
+    times.clear()
+    return out
+
+
+def merge_kernel_timings(total: dict[str, float], part: dict[str, float] | None) -> None:
+    """Fold one task's stage times into a running total, in place."""
+    if not part:
+        return
+    for name, secs in part.items():
+        total[name] = total.get(name, 0.0) + secs

@@ -60,6 +60,7 @@ def synthesize_layers(
     t1: int,
     pool: WorkerPool | None = None,
     kernel: str = "intervals",
+    backend: str | None = None,
 ) -> dict[str, CollocationNetwork]:
     """One collocation network per place kind, over the same window.
 
@@ -79,7 +80,7 @@ def synthesize_layers(
             )
             continue
         net, _ = synthesize_network(
-            subset, n_persons, t0, t1, pool=pool, kernel=kernel
+            subset, n_persons, t0, t1, pool=pool, kernel=kernel, backend=backend
         )
         layers[kind.name.lower()] = net
     return layers
@@ -96,6 +97,7 @@ def layer_caches(
     dispatch: str = "value",
     strict: bool = False,
     kinds: "tuple[str, ...] | list[str] | None" = None,
+    backend: str | None = None,
 ) -> dict:
     """One :class:`~repro.core.tilecache.TileCache` per place kind.
 
@@ -132,6 +134,7 @@ def layer_caches(
             dispatch=dispatch,
             strict=strict,
             place_mask=places.kind == int(kind),
+            backend=backend,
         )
     return caches
 

@@ -41,7 +41,12 @@ import numpy as np
 from .._util import StageTimings, atomic_write_bytes
 from ..errors import CheckpointError, SynthesisError
 from ..evlog.multifile import LogSet, try_read_time_slice, try_slice_descriptor
-from ..evlog.reader import LogReader, SliceDescriptor, read_slice_descriptor
+from ..evlog.reader import (
+    LogReader,
+    SliceDescriptor,
+    read_slice_columns,
+    read_slice_descriptor,
+)
 from ..evlog.schema import LogRecordArray
 from ..distrib.taskpool import SerialPool, WorkerPool
 from .adjacency import accumulate_adjacency, sum_adjacency_list
@@ -55,9 +60,17 @@ from .colloc import (
 from .intervals import (
     IntervalPack,
     build_interval_pack,
+    build_interval_pack_columns,
     merge_packs,
     select_pack_places,
     sum_pack_adjacency,
+)
+from .kernels import (
+    KERNEL_STAGES,
+    check_backend,
+    collect_kernel_timings,
+    merge_kernel_timings,
+    resolve_backend,
 )
 from .network import CollocationNetwork
 from .slicing import clip_records, records_by_place, slice_records
@@ -91,6 +104,11 @@ DEFAULT_KERNEL = "intervals"
 #: ranges and workers mmap the EVL files themselves.
 DISPATCHES = ("value", "zero-copy")
 DEFAULT_DISPATCH = "value"
+
+# The third knob, ``backend=`` (scipy reference vs. compiled masked
+# SpGEMM), lives in :mod:`repro.core.kernels`.  Like kernel and
+# dispatch it is excluded from the checkpoint digest: every backend is
+# bit-identical, so a run may resume under any of them.
 
 
 def _check_kernel(kernel: str) -> None:
@@ -131,11 +149,17 @@ class SynthesisReport:
     kernel: str = DEFAULT_KERNEL
     #: how record data reached stage-2 workers
     dispatch: str = DEFAULT_DISPATCH
+    #: kernel backend the run resolved to (never "auto")
+    backend: str = "scipy"
+    #: per-stage kernel seconds (pack build / SpGEMM / accumulate),
+    #: summed across workers — attributable compute, not wall time
+    kernel_timings: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         lines = [
             f"kernel           {self.kernel:>12}",
             f"dispatch         {self.dispatch:>12}",
+            f"backend          {self.backend:>12}",
             f"records          {self.n_records:>12,}",
             f"in slice         {self.n_sliced_records:>12,}",
             f"places           {self.n_places:>12,}",
@@ -157,6 +181,13 @@ class SynthesisReport:
             lines.extend(f"  !! {name}" for name in self.quarantined)
         lines.append("--- timings ---")
         lines.append(self.timings.report())
+        if self.kernel_timings:
+            lines.append("--- kernel stages (worker compute) ---")
+            for name in KERNEL_STAGES:
+                if name in self.kernel_timings:
+                    lines.append(
+                        f"{name:<16} {self.kernel_timings[name]:>11.4f}s"
+                    )
         return "\n".join(lines)
 
 
@@ -172,50 +203,66 @@ def _matrices_task(
 
 
 def _adjacency_task(
-    chunk: tuple[list[CollocationMatrix], int],
+    chunk: tuple[list[CollocationMatrix], int, str],
 ):
     """Stage-4 worker: sum ``x·xᵀ`` over its balanced matrix share."""
-    matrices, n_persons = chunk
-    return sum_adjacency_list(matrices, n_persons)
+    matrices, n_persons, backend = chunk
+    out = sum_adjacency_list(matrices, n_persons, backend=backend)
+    return out, collect_kernel_timings()
 
 
-def _pack_task(chunk: tuple[LogRecordArray, int, int]) -> IntervalPack:
+def _pack_task(chunk: tuple[LogRecordArray, int, int, str]):
     """Stage-2 worker (interval kernel): one pack per place-disjoint slab."""
-    records, t0, t1 = chunk
-    return build_interval_pack(records, t0, t1)
+    records, t0, t1, backend = chunk
+    pack = build_interval_pack(records, t0, t1, backend=backend)
+    return pack, collect_kernel_timings()
 
 
-def _pack_adjacency_task(chunk: "tuple[list[IntervalPack], int]"):
+def _pack_adjacency_task(chunk: "tuple[list[IntervalPack], int, str]"):
     """Stage-4 worker (interval kernel): stacked weighted product over the
     balanced place share."""
-    packs, n_persons = chunk
-    return sum_pack_adjacency(packs, n_persons)
+    packs, n_persons, backend = chunk
+    out = sum_pack_adjacency(packs, n_persons, backend=backend)
+    return out, collect_kernel_timings()
 
 
-def _descriptor_task(args: tuple[SliceDescriptor, str]):
+def _descriptor_task(args: tuple[SliceDescriptor, str, str]):
     """Stage-2 worker under zero-copy dispatch: mmap + decode + build.
 
     Receives only a byte-range descriptor; reads the slice itself, clips
     it, and builds the kernel's per-file unit.  Returns ``(payload,
-    n_records)`` where payload is an :class:`IntervalPack` (or None for an
-    empty slice) or a list of :class:`CollocationMatrix`.
+    n_records, kernel_timings)`` where payload is an :class:`IntervalPack`
+    (or None for an empty slice) or a list of :class:`CollocationMatrix`.
     """
-    descriptor, kernel = args
+    descriptor, kernel, backend = args
+    if kernel == "intervals":
+        # columnar decode: mmap'd chunks land as clipped int64 columns
+        # with no intermediate struct-record copies
+        starts, stops, person, place = read_slice_columns(descriptor)
+        if not len(starts):
+            return None, 0, collect_kernel_timings()
+        pack = build_interval_pack_columns(
+            starts,
+            stops,
+            person,
+            place,
+            descriptor.t0,
+            descriptor.t1,
+            backend=backend,
+        )
+        return pack, len(starts), collect_kernel_timings()
     raw = read_slice_descriptor(descriptor)
     # descriptor materialization already applied the window mask; only the
     # interval clip remains to match slice_records() output exactly.
     sliced = (
         clip_records(raw, descriptor.t0, descriptor.t1) if len(raw) else raw
     )
-    if kernel == "intervals":
-        if not len(sliced):
-            return None, len(raw)
-        return build_interval_pack(sliced, descriptor.t0, descriptor.t1), len(raw)
     if not len(sliced):
-        return [], len(raw)
+        return [], len(raw), collect_kernel_timings()
     return (
         build_collocation_matrices(sliced, descriptor.t0, descriptor.t1),
         len(raw),
+        collect_kernel_timings(),
     )
 
 
@@ -459,6 +506,7 @@ def synthesize_network(
     t1: int,
     pool: WorkerPool | None = None,
     kernel: str = DEFAULT_KERNEL,
+    backend: str | None = None,
 ) -> tuple[CollocationNetwork, SynthesisReport]:
     """Build the collocation network for window ``[t0, t1)`` from records.
 
@@ -478,14 +526,25 @@ def synthesize_network(
         per-hour presence expansion.  Both produce bit-identical networks
         (equivalence-tested); the interval kernel's cost is independent of
         window length.
+    backend:
+        Kernel backend (:mod:`repro.core.kernels`): ``"scipy"`` reference,
+        ``"masked"`` compiled masked-triangular SpGEMM, or ``"auto"``
+        (default) — masked when a compiled implementation is available.
+        Bit-identical either way.
     """
     if n_persons <= 0:
         raise SynthesisError("n_persons must be positive")
     _check_kernel(kernel)
+    # resolve once at the root so every worker runs the same concrete
+    # backend regardless of its own environment
+    backend = resolve_backend(backend)
     own_pool = pool is None
     pool = pool or SerialPool()
     report = SynthesisReport(
-        n_records=len(records), n_workers=pool.n_workers, kernel=kernel
+        n_records=len(records),
+        n_workers=pool.n_workers,
+        kernel=kernel,
+        backend=backend,
     )
     timings = report.timings
     retries_before = _pool_retries(pool)
@@ -498,18 +557,21 @@ def synthesize_network(
             with timings.time("group_by_place"):
                 slabs = _place_slabs(sliced, pool.n_workers * 4)
             with timings.time("collocation_matrices"):
-                packs = pool.map(
-                    _pack_task, [(slab, t0, t1) for slab in slabs]
+                built = pool.map(
+                    _pack_task, [(slab, t0, t1, backend) for slab in slabs]
                 )
+                packs = [p for p, _t in built]
+                for _p, times in built:
+                    merge_kernel_timings(report.kernel_timings, times)
             report.n_places = sum(p.n_places for p in packs)
             report.colloc_nnz_total = sum(p.person_hours for p in packs)
             with timings.time("balance"):
                 shares, balance = _balance_packs(packs, pool.n_workers)
             report.balance = balance
             with timings.time("adjacency"):
-                partials = pool.map(
+                summed = pool.map(
                     _pack_adjacency_task,
-                    [(share, n_persons) for share in shares if share],
+                    [(share, n_persons, backend) for share in shares if share],
                 )
         else:
             with timings.time("group_by_place"):
@@ -527,11 +589,14 @@ def synthesize_network(
                 shares, balance = balance_by_work(matrices, pool.n_workers)
             report.balance = balance
             with timings.time("adjacency"):
-                partials = pool.map(
+                summed = pool.map(
                     _adjacency_task,
-                    [(share, n_persons) for share in shares if share],
+                    [(share, n_persons, backend) for share in shares if share],
                 )
 
+        partials = [a for a, _t in summed]
+        for _a, times in summed:
+            merge_kernel_timings(report.kernel_timings, times)
         with timings.time("reduce"):
             adjacency = accumulate_adjacency(partials, n_persons)
         report.n_retries = _pool_retries(pool) - retries_before
@@ -586,6 +651,7 @@ def _synthesize_batch_descriptors(
     t1: int,
     pool: WorkerPool,
     kernel: str,
+    backend: str,
     strict: bool,
     report: SynthesisReport,
 ) -> CollocationNetwork | None:
@@ -619,14 +685,16 @@ def _synthesize_batch_descriptors(
         return None
     with timings.time("collocation_matrices"):
         results = pool.map(
-            _descriptor_task, [(d, kernel) for d in descriptors]
+            _descriptor_task, [(d, kernel, backend) for d in descriptors]
         )
-    n_read = sum(n for _payload, n in results)
+    n_read = sum(n for _payload, n, _t in results)
     report.n_records += n_read
     report.n_sliced_records += n_read
+    for _payload, _n, times in results:
+        merge_kernel_timings(report.kernel_timings, times)
     if kernel == "intervals":
         with timings.time("merge"):
-            packs = _merge_duplicate_packs([p for p, _n in results])
+            packs = _merge_duplicate_packs([p for p, _n, _t in results])
         report.n_places += sum(p.n_places for p in packs)
         report.colloc_nnz_total += sum(p.person_hours for p in packs)
         with timings.time("balance"):
@@ -635,7 +703,7 @@ def _synthesize_batch_descriptors(
     else:
         with timings.time("merge"):
             matrices = _merge_duplicate_colloc(
-                [m for ms, _n in results for m in ms]
+                [m for ms, _n, _t in results for m in ms]
             )
         report.n_places += len(matrices)
         report.colloc_nnz_total += sum(m.nnz for m in matrices)
@@ -644,9 +712,13 @@ def _synthesize_batch_descriptors(
         adjacency_task = _adjacency_task
     _merge_balance(report, balance)
     with timings.time("adjacency"):
-        partials = pool.map(
-            adjacency_task, [(share, n_persons) for share in shares if share]
+        summed = pool.map(
+            adjacency_task,
+            [(share, n_persons, backend) for share in shares if share],
         )
+    partials = [a for a, _t in summed]
+    for _a, times in summed:
+        merge_kernel_timings(report.kernel_timings, times)
     with timings.time("reduce"):
         adjacency = accumulate_adjacency(partials, n_persons)
     report.n_retries += _pool_retries(pool) - retries_before
@@ -665,6 +737,7 @@ def synthesize_from_logs(
     resume: str | Path | None = None,
     kernel: str = DEFAULT_KERNEL,
     dispatch: str = DEFAULT_DISPATCH,
+    backend: str | None = None,
     cache=None,
 ) -> tuple[CollocationNetwork, SynthesisReport]:
     """Synthesize the network from a directory of per-rank EVL files.
@@ -684,6 +757,9 @@ def synthesize_from_logs(
         root→worker traffic drops from O(records) to O(1) per task.
         Output is bit-identical either way; checkpoints are compatible
         across both kernels and both dispatch modes.
+    backend:
+        Kernel backend, see :func:`synthesize_network`.  Bit-identical
+        across backends; checkpoints are compatible across all of them.
     strict:
         When False (default), a damaged log file — truncated by a killed
         writer or failing a chunk CRC — is quarantined: the whole file is
@@ -716,6 +792,7 @@ def synthesize_from_logs(
     """
     _check_kernel(kernel)
     _check_dispatch(dispatch)
+    backend = resolve_backend(backend)
     if cache is not None:
         if checkpoint is not None or resume is not None:
             raise SynthesisError(
@@ -743,6 +820,8 @@ def synthesize_from_logs(
             batches=0,
             kernel="intervals",
             dispatch=cache.dispatch,
+            # the cache computes tiles under its own backend setting
+            backend=getattr(cache, "backend", backend),
             quarantined=list(cache.quarantined),
         )
         with report.timings.time("cache_query"):
@@ -753,7 +832,11 @@ def synthesize_from_logs(
     pool = pool or SerialPool()
     network: CollocationNetwork | None = None
     total_report = SynthesisReport(
-        n_workers=pool.n_workers, batches=0, kernel=kernel, dispatch=dispatch
+        n_workers=pool.n_workers,
+        batches=0,
+        kernel=kernel,
+        dispatch=dispatch,
+        backend=backend,
     )
 
     digest = checkpoint_digest(log_set, n_persons, t0, t1, batch_size)
@@ -796,7 +879,7 @@ def synthesize_from_logs(
                 continue
             if dispatch == "zero-copy":
                 batch_net = _synthesize_batch_descriptors(
-                    batch, n_persons, t0, t1, pool, kernel, strict,
+                    batch, n_persons, t0, t1, pool, kernel, backend, strict,
                     total_report,
                 )
                 if batch_net is not None:
@@ -834,7 +917,8 @@ def synthesize_from_logs(
                     np.concatenate(parts) if len(parts) > 1 else parts[0]
                 )
                 batch_net, batch_report = synthesize_network(
-                    records, n_persons, t0, t1, pool=pool, kernel=kernel
+                    records, n_persons, t0, t1, pool=pool, kernel=kernel,
+                    backend=backend,
                 )
                 network = batch_net if network is None else network + batch_net
                 total_report.n_records += batch_report.n_records
@@ -845,6 +929,9 @@ def synthesize_from_logs(
                 total_report.n_retries += batch_report.n_retries
                 for name, secs in batch_report.timings.stages.items():
                     total_report.timings.add(name, secs)
+                merge_kernel_timings(
+                    total_report.kernel_timings, batch_report.kernel_timings
+                )
             total_report.batches += 1
             if checkpoint_dir is not None:
                 with total_report.timings.time("checkpoint"):

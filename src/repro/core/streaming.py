@@ -128,6 +128,7 @@ class StreamingSynthesizer:
         kernel: str = "intervals",
         dispatch: str = "value",
         cache=None,
+        backend: str | None = None,
     ) -> None:
         """``cache`` is an optional
         :class:`~repro.core.tilecache.TileCache` over the log directory:
@@ -147,6 +148,7 @@ class StreamingSynthesizer:
         self.kernel = kernel
         self.dispatch = dispatch
         self.cache = cache
+        self.backend = backend
 
     def process(
         self, log_set: LogSet | str, n_intervals: int
@@ -171,6 +173,7 @@ class StreamingSynthesizer:
                     pool=self.pool,
                     kernel=self.kernel,
                     dispatch=self.dispatch,
+                    backend=self.backend,
                 )
             networks.append(net)
         return WeeklyNetworkSeries(

@@ -93,11 +93,21 @@ import scipy.sparse as sp
 from .._util import StageTimings, Timer, atomic_write_bytes
 from ..errors import SynthesisError, TileCacheError
 from ..evlog.multifile import LogSet
-from ..evlog.reader import LogReader, SliceDescriptor, read_slice_descriptor
+from ..evlog.reader import (
+    LogReader,
+    SliceDescriptor,
+    read_slice_columns,
+    read_slice_descriptor,
+)
 from ..evlog.schema import LogRecordArray, empty_records
 from ..distrib.taskpool import SerialPool, WorkerPool
 from .adjacency import empty_adjacency
-from .intervals import build_interval_pack, sum_pack_adjacency
+from .intervals import (
+    build_interval_pack,
+    build_interval_pack_columns,
+    sum_pack_adjacency,
+)
+from .kernels import resolve_backend
 from .network import CollocationNetwork
 from .pipeline import DISPATCHES, _check_dispatch, _merge_duplicate_packs
 from .slicing import clip_records
@@ -195,7 +205,7 @@ def _apply_place_mask(
 
 
 def _window_value_task(
-    args: tuple[LogRecordArray, int, int, int],
+    args: tuple[LogRecordArray, int, int, int, str],
 ) -> sp.csr_matrix:
     """Worker (value dispatch): one window's partial adjacency.
 
@@ -203,37 +213,58 @@ def _window_value_task(
     filter at the root); clips, builds one interval pack, and returns the
     canonical upper-triangular CSR partial.
     """
-    records, t0, t1, n_persons = args
+    records, t0, t1, n_persons, backend = args
     if not len(records):
         return empty_adjacency(n_persons)
     sliced = clip_records(records, t0, t1)
-    pack = build_interval_pack(sliced, t0, t1)
-    return sum_pack_adjacency([pack], n_persons)
+    pack = build_interval_pack(sliced, t0, t1, backend=backend)
+    return sum_pack_adjacency([pack], n_persons, backend=backend)
 
 
 def _window_descriptor_task(
-    args: tuple[list[SliceDescriptor], int, "np.ndarray | None"],
+    args: tuple[list[SliceDescriptor], int, "np.ndarray | None", str],
 ) -> sp.csr_matrix:
     """Worker (zero-copy dispatch): mmap + decode + build one window.
 
     Receives byte-range descriptors only; a place split across files is
     union-merged so the partial matches a single build from the
-    concatenated records.
+    concatenated records.  Without a place filter the decode goes through
+    the columnar reader — clipped int64 columns straight off the mmap,
+    no intermediate record array.
     """
-    descriptors, n_persons, place_mask = args
+    descriptors, n_persons, place_mask, backend = args
     packs = []
     for descriptor in descriptors:
+        if place_mask is None:
+            starts, stops, person, place = read_slice_columns(descriptor)
+            if not len(starts):
+                continue
+            packs.append(
+                build_interval_pack_columns(
+                    starts,
+                    stops,
+                    person,
+                    place,
+                    descriptor.t0,
+                    descriptor.t1,
+                    backend=backend,
+                )
+            )
+            continue
         raw = read_slice_descriptor(descriptor)
-        if place_mask is not None:
-            raw = _apply_place_mask(raw, place_mask)
+        raw = _apply_place_mask(raw, place_mask)
         if not len(raw):
             continue
         sliced = clip_records(raw, descriptor.t0, descriptor.t1)
-        packs.append(build_interval_pack(sliced, descriptor.t0, descriptor.t1))
+        packs.append(
+            build_interval_pack(
+                sliced, descriptor.t0, descriptor.t1, backend=backend
+            )
+        )
     packs = _merge_duplicate_packs(packs)
     if not packs:
         return empty_adjacency(n_persons)
-    return sum_pack_adjacency(packs, n_persons)
+    return sum_pack_adjacency(packs, n_persons, backend=backend)
 
 
 def _tile_cost(mat: sp.csr_matrix) -> int:
@@ -291,6 +322,12 @@ class TileCache:
     place_mask:
         Optional boolean array over place ids; only records at admitted
         places contribute (the layer-synthesis hook).  Part of the digest.
+    backend:
+        Kernel backend for tile construction (see
+        :mod:`repro.core.kernels`), resolved once at construction so every
+        worker runs the same concrete backend.  Deliberately *not* part of
+        the digest: backends are bit-identical, so persisted tiles stay
+        valid across backend changes.
     """
 
     def __init__(
@@ -304,6 +341,7 @@ class TileCache:
         dispatch: str = "value",
         strict: bool = False,
         place_mask: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> None:
         if n_persons <= 0:
             raise TileCacheError("n_persons must be positive")
@@ -317,6 +355,7 @@ class TileCache:
         self.tile_hours = int(tile_hours)
         self.budget_nnz = budget_nnz
         self.dispatch = dispatch
+        self.backend = resolve_backend(backend)
         self.place_mask = (
             np.asarray(place_mask, dtype=bool) if place_mask is not None else None
         )
@@ -544,7 +583,7 @@ class TileCache:
                 d = self._reader(path).slice_descriptor(t0, t1)
                 if d.chunk_offsets:
                     descriptors.append(d)
-            return descriptors, self.n_persons, self.place_mask
+            return descriptors, self.n_persons, self.place_mask, self.backend
         parts = []
         for path in self.paths:
             rec = self._reader(path).read_time_slice(t0, t1)
@@ -557,7 +596,7 @@ class TileCache:
             if len(parts) > 1
             else (parts[0] if parts else empty_records(0))
         )
-        return records, t0, t1, self.n_persons
+        return records, t0, t1, self.n_persons, self.backend
 
     def _build_windows(
         self, windows: list[tuple[int, int]]
@@ -799,6 +838,7 @@ def query_window(
     pool: WorkerPool | None = None,
     dispatch: str = "value",
     strict: bool = False,
+    backend: str | None = None,
 ) -> tuple[CollocationNetwork, TileCache]:
     """One window query against a (possibly fresh) tile cache.
 
@@ -817,6 +857,7 @@ def query_window(
             pool=pool,
             dispatch=dispatch,
             strict=strict,
+            backend=backend,
         )
     elif cache.n_persons != n_persons:
         raise TileCacheError(

@@ -32,12 +32,13 @@ from .format import (
     unpack_index,
     unpack_trailer,
 )
-from .schema import LogRecordArray, empty_records, records_from_bytes
+from .schema import LOG_DTYPE, LogRecordArray, empty_records, records_from_bytes
 
 __all__ = [
     "LogReader",
     "SliceDescriptor",
     "read_slice_descriptor",
+    "read_slice_columns",
     "scan_intact_chunks",
 ]
 
@@ -83,6 +84,57 @@ def read_slice_descriptor(descriptor: SliceDescriptor) -> LogRecordArray:
     if not parts:
         return empty_records(0)
     return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+
+def read_slice_columns(
+    descriptor: SliceDescriptor,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Columnar twin of :func:`read_slice_descriptor` for the interval
+    kernel: ``(starts, stops, person, place)`` int64 columns, window-masked
+    and clipped to ``[t0, t1)``.
+
+    Value-identical to ``clip_records(read_slice_descriptor(d), t0, t1)``
+    pulled apart into columns, but built without materializing struct
+    records: each mmap'd chunk is viewed in place (``np.frombuffer``, no
+    payload copy for uncompressed files) and its fields are cast-copied
+    straight into four preallocated int64 columns — no per-chunk record
+    copies, no fancy-indexed struct gather, no final concatenate.  The
+    columns land exactly where :func:`~repro.core.intervals.
+    build_interval_pack_columns` wants them.
+    """
+    cap = descriptor.n_records
+    starts = np.empty(cap, dtype=np.int64)
+    stops = np.empty(cap, dtype=np.int64)
+    person = np.empty(cap, dtype=np.int64)
+    place = np.empty(cap, dtype=np.int64)
+    n = 0
+    with LogReader(descriptor.path, use_mmap=True) as reader:
+        for offset in descriptor.chunk_offsets:
+            image, _n, _next = read_chunk_at(
+                reader._buf, offset, reader.header.compressed
+            )
+            rec = np.frombuffer(image, dtype=LOG_DTYPE)
+            s, e = rec["start"], rec["stop"]
+            mask = (s < descriptor.t1) & (e > descriptor.t0)
+            if mask.all():
+                k = len(rec)
+            else:
+                idx = np.flatnonzero(mask)
+                k = len(idx)
+                if not k:
+                    continue
+                rec = rec[idx]
+                s, e = rec["start"], rec["stop"]
+            end = n + k
+            starts[n:end] = s
+            stops[n:end] = e
+            person[n:end] = rec["person"]
+            place[n:end] = rec["place"]
+            n = end
+    starts, stops = starts[:n], stops[:n]
+    np.maximum(starts, descriptor.t0, out=starts)
+    np.minimum(stops, descriptor.t1, out=stops)
+    return starts, stops, person[:n], place[:n]
 
 
 def scan_intact_chunks(

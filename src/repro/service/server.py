@@ -125,6 +125,9 @@ class ServiceConfig:
     cache_dir: str | Path | None = None
     dispatch: str = "value"
     strict: bool = False
+    #: kernel backend for tile construction (see :mod:`repro.core.kernels`);
+    #: bit-identical across choices, so persisted tiles remain valid
+    backend: str | None = None
     #: per-tenant admission budget in estimated in-flight nnz; None admits all
     tenant_budget_nnz: float | None = None
     #: back-off hint carried by admission rejections, seconds
@@ -452,6 +455,7 @@ class NetworkQueryService:
                 ),
                 dispatch=cfg.dispatch,
                 strict=cfg.strict,
+                backend=cfg.backend,
             )
         else:
             assert self.places is not None
@@ -465,6 +469,7 @@ class NetworkQueryService:
                 dispatch=cfg.dispatch,
                 strict=cfg.strict,
                 kinds=[key],
+                backend=cfg.backend,
             )[key]
         return _CacheHandle(cache, horizon=cache.horizon())
 
