@@ -103,10 +103,16 @@ def client_plan(client_no: int, windows) -> list[tuple[str, tuple[int, int]]]:
 
 
 async def run_client(port: int, client_no: int, windows) -> list[dict]:
-    """Execute one client's plan; return per-request latency records."""
+    """Execute one client's plan; return per-request latency records.
+
+    Each record carries the server-echoed trace id (the client attaches
+    its span context to every request header), so the bench also proves
+    the trace round-trip holds under full concurrent load.
+    """
     records = []
     async with ServiceClient(port=port, tenant=f"c{client_no:02d}") as client:
         for op, (t0, t1) in client_plan(client_no, windows):
+            client.last_trace_id = None
             tic = time.perf_counter()
             if op == "window":
                 await client.query_window(t0, t1)
@@ -115,7 +121,9 @@ async def run_client(port: int, client_no: int, windows) -> list[dict]:
             else:
                 await client.query_ego(client_no, t0, t1)
             ms = 1000 * (time.perf_counter() - tic)
-            records.append({"op": op, "ms": ms})
+            records.append(
+                {"op": op, "ms": ms, "trace_id": client.last_trace_id}
+            )
     return records
 
 
@@ -189,6 +197,8 @@ async def drive_service(log_dir: Path, pop, windows, cold_refs) -> dict:
     for recs in per_client:
         for r in recs:
             by_op.setdefault(r["op"], []).append(r["ms"])
+    trace_ids = [r["trace_id"] for recs in per_client for r in recs]
+    traced = [t for t in trace_ids if t]
     return {
         "burst": {
             "window": list(burst_window),
@@ -220,6 +230,8 @@ async def drive_service(log_dir: Path, pop, windows, cold_refs) -> dict:
             },
             "compositions": load_compositions,
             "coalesced": load_coalesced,
+            "trace_roundtrip": round(len(traced) / max(len(trace_ids), 1), 4),
+            "distinct_trace_ids": len(set(traced)),
         },
         "server_stats": stats,
         "outputs_bit_identical": bool(identical),
@@ -281,6 +293,19 @@ def check_regression(measured: dict, baseline: dict) -> list[str]:
     if measured["load"]["success_rate"] < 1.0:
         failures.append(
             f"success rate {measured['load']['success_rate']:.4f} < 1.0"
+        )
+    roundtrip = measured["load"].get("trace_roundtrip", 0.0)
+    if roundtrip < 1.0:
+        failures.append(
+            f"trace-id round-trip {roundtrip:.4f} < 1.0: some responses "
+            "came back without the request's trace id"
+        )
+    n_requests = measured["load"]["n_requests"]
+    distinct = measured["load"].get("distinct_trace_ids", 0)
+    if distinct != n_requests:
+        failures.append(
+            f"{distinct} distinct trace ids across {n_requests} requests: "
+            "trace ids must be unique per request"
         )
     burst = measured["burst"]
     if burst["compositions"] >= burst["clients"]:

@@ -116,12 +116,30 @@ class Timer:
 
 @dataclass
 class StageTimings:
-    """Accumulates named stage durations for pipeline reports."""
+    """Accumulates named stage durations for pipeline reports.
+
+    Every ``add`` also flows through the active telemetry probe (scoped
+    as ``{scope}.{name}``), so stage timings land in the process-wide
+    metrics registry without each call site being instrumented twice.
+    """
 
     stages: dict[str, float] = field(default_factory=dict)
+    #: probe scope prefix ("synthesis" for pipeline runs, "cache" for
+    #: the tile cache's internal stage clocks)
+    scope: str = "synthesis"
 
     def add(self, name: str, seconds: float) -> None:
-        self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+        seconds = float(seconds)
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+        from .obs import get_probe  # deferred: _util must stay import-light
+
+        get_probe().stage(f"{self.scope}.{name}", seconds)
+
+    def merge(self, other: "StageTimings") -> None:
+        """Fold another table in without re-emitting probe events (the
+        other table already emitted when its stages were recorded)."""
+        for name, secs in other.stages.items():
+            self.stages[name] = self.stages.get(name, 0.0) + float(secs)
 
     def time(self, name: str) -> "_StageContext":
         return _StageContext(self, name)

@@ -18,7 +18,9 @@ chain so each stage can run, be inspected, and be re-run independently::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 import numpy as np
@@ -149,30 +151,61 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
                 max_attempts=args.retries, base_delay=args.retry_delay
             )
         pool = make_pool(args.pool, args.workers, retry=retry)
+    probe = None
+    profile_cm: "object" = nullcontext()
+    if args.profile:
+        from .obs import CollectingProbe, push_probe
+
+        probe = CollectingProbe()
+        profile_cm = push_probe(probe)
     try:
-        net, report = synthesize_from_logs(
-            args.log_dir,
-            pop.n_persons,
-            t0,
-            t1,
-            batch_size=args.batch_size,
-            pool=pool,
-            strict=args.strict,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-            kernel=args.kernel,
-            dispatch=args.dispatch,
-            backend=args.backend,
-        )
+        with profile_cm:
+            net, report = synthesize_from_logs(
+                args.log_dir,
+                pop.n_persons,
+                t0,
+                t1,
+                batch_size=args.batch_size,
+                pool=pool,
+                strict=args.strict,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                kernel=args.kernel,
+                dispatch=args.dispatch,
+                backend=args.backend,
+            )
     finally:
         if pool is not None:
             pool.close()
-    if args.profile:
+    if probe is not None:
         from .core.kernels import backend_info
 
+        info = backend_info()
         print("--- kernel backend ---")
-        for key, value in backend_info().items():
+        for key, value in info.items():
             print(f"  {key:>14}: {value}")
+        print("\n--- profile ---")
+        for name, e in sorted(probe.stages.items()):
+            print(
+                f"  {name:>24}: {e['seconds']:.3f}s "
+                f"over {e['calls']} call(s)"
+            )
+        for stage, e in sorted(probe.kernel.items()):
+            print(
+                f"  {'kernel.' + stage:>24}: {e['seconds']:.3f}s "
+                f"over {e['tasks']} task(s)"
+            )
+        prof_path = Path(args.out).with_suffix(".profile.json")
+        prof_path.write_text(
+            json.dumps(
+                {"backend": info, **probe.to_dict()},
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+            + "\n"
+        )
+        print(f"wrote profile {prof_path}")
         print()
     print(report.summary())
     if report.quarantined:
@@ -315,6 +348,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         write_timeout=args.write_timeout,
         queue_limit=args.queue_limit,
         shed_inflight_age=args.shed_age,
+        trace_log=args.trace_log,
     )
     service = NetworkQueryService(
         args.log_dir, pop.n_persons, places=pop.places, config=config
@@ -375,6 +409,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 print(f"  {key:>18}: {value}")
             for tenant, usage in sorted(stats.get("tenants", {}).items()):
                 print(f"  tenant {tenant}: {usage}")
+        elif op == "metrics":
+            from .obs import render_metrics
+
+            print(render_metrics(client.metrics()["metrics"]))
         elif op == "reload":
             print(client.reload())
         elif op == "shutdown":
@@ -412,6 +450,36 @@ def _cmd_client(args: argparse.Namespace) -> int:
             raise AssertionError(op)
     finally:
         client.close()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import read_spans_jsonl, render_traces
+
+    spans = read_spans_jsonl(args.spans)
+    if not spans:
+        print(f"no spans in {args.spans}", file=sys.stderr)
+        return 1
+    print(render_traces(spans, trace_id=args.id, last=args.last))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import render_metrics
+
+    if args.file:
+        snapshot = json.loads(Path(args.file).read_text())
+        # accept both a raw registry snapshot and a `metrics` response
+        snapshot = snapshot.get("metrics", snapshot)
+    else:
+        from .service import SyncServiceClient
+
+        client = SyncServiceClient(host=args.host, port=args.port)
+        try:
+            snapshot = client.metrics()["metrics"]
+        finally:
+            client.close()
+    print(render_metrics(snapshot))
     return 0
 
 
@@ -639,6 +707,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="load shedding: also shed while the oldest in-flight "
         "request is older than this",
     )
+    p.add_argument(
+        "--trace-log", default=None, metavar="FILE",
+        help="append every finished request span to FILE as JSONL "
+        "(render with `repro trace FILE`)",
+    )
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -648,7 +721,7 @@ def build_parser() -> argparse.ArgumentParser:
         "op",
         choices=[
             "ping", "live", "ready", "window", "layer", "ego", "degrees",
-            "stats", "reload", "shutdown",
+            "stats", "metrics", "reload", "shutdown",
         ],
     )
     p.add_argument("--host", default="127.0.0.1")
@@ -679,6 +752,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default=None, help="save the fetched network")
     p.set_defaults(fn=_cmd_client)
+
+    p = sub.add_parser(
+        "trace", help="render span trees from a JSONL trace log"
+    )
+    p.add_argument(
+        "spans", metavar="SPANS_JSONL",
+        help="trace log written by `repro serve --trace-log` or any "
+        "JsonlSpanSink",
+    )
+    p.add_argument(
+        "--id", default=None, metavar="TRACE_ID",
+        help="render one trace (e.g. the trace_id echoed in a service "
+        "response); default renders the most recent ones",
+    )
+    p.add_argument(
+        "--last", type=int, default=5,
+        help="without --id: how many of the most recent traces to "
+        "render (default: 5)",
+    )
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="dump a metrics-registry snapshot (live service or file)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7227)
+    p.add_argument(
+        "--file", default=None, metavar="JSON",
+        help="render a saved snapshot (e.g. a --profile artifact or "
+        "a saved `metrics` response) instead of querying a server",
+    )
+    p.set_defaults(fn=_cmd_metrics)
 
     p = sub.add_parser("analyze", help="network statistics and figures")
     p.add_argument("--network", required=True)

@@ -40,6 +40,7 @@ from .adjacency import accumulate_adjacency, sum_adjacency_list
 from .balance import lpt_partition
 from .colloc import CollocationMatrix, collocation_matrix_for_place
 from .intervals import interval_pack_for_place, sum_pack_adjacency
+from ..obs import get_probe, start_span
 from .kernels import resolve_backend
 from .network import CollocationNetwork
 from .pipeline import _check_kernel, _chunk_groups
@@ -168,11 +169,21 @@ def synthesize_network_bsp(
         total = comm.reduce_with(partial, lambda a, b: a + b, root=0)
         return total, len(matrices), moved
 
-    cluster = SimCluster(n_ranks)
-    result = cluster.run(rank_fn)
+    with start_span(
+        "synthesize_bsp",
+        attrs={"kernel": kernel, "backend": backend, "ranks": n_ranks},
+    ) as span:
+        cluster = SimCluster(n_ranks)
+        result = cluster.run(rank_fn)
+        span.set_attr("bytes_sent", result.total_traffic.bytes_sent)
     adjacency, n_places, _ = result.returns[0]
     total_moved = sum(r[2] for r in result.returns)
     total_places = sum(r[1] for r in result.returns)
+    probe = get_probe()
+    probe.count("bsp.runs")
+    probe.count("bsp.bytes_sent", result.total_traffic.bytes_sent)
+    probe.count("bsp.messages_sent", result.total_traffic.messages_sent)
+    probe.count("bsp.matrices_moved", total_moved)
     network = CollocationNetwork(
         accumulate_adjacency([adjacency], n_persons), t0=t0, t1=t1
     )

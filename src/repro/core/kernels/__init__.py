@@ -35,10 +35,13 @@ from ...errors import SynthesisError
 from .workspace import (
     KERNEL_STAGES,
     KernelWorkspace,
+    absorb_task_telemetry,
     collect_kernel_timings,
+    collect_task_telemetry,
     get_workspace,
     kernel_stage,
     merge_kernel_timings,
+    task_span,
 )
 
 __all__ = [
@@ -50,10 +53,13 @@ __all__ = [
     "backend_info",
     "KERNEL_STAGES",
     "KernelWorkspace",
+    "absorb_task_telemetry",
     "collect_kernel_timings",
+    "collect_task_telemetry",
     "get_workspace",
     "kernel_stage",
     "merge_kernel_timings",
+    "task_span",
 ]
 
 #: selectable kernel backends (``auto`` resolves to one of these)

@@ -23,12 +23,23 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from ...obs import (
+    TraceContext,
+    capture_spans,
+    get_collector,
+    record_kernel_timings,
+    start_span,
+)
+
 __all__ = [
     "KernelWorkspace",
     "get_workspace",
     "kernel_stage",
     "collect_kernel_timings",
+    "collect_task_telemetry",
     "merge_kernel_timings",
+    "absorb_task_telemetry",
+    "task_span",
     "KERNEL_STAGES",
 ]
 
@@ -119,3 +130,52 @@ def merge_kernel_timings(total: dict[str, float], part: dict[str, float] | None)
         return
     for name, secs in part.items():
         total[name] = total.get(name, 0.0) + secs
+
+
+@contextmanager
+def task_span(name: str, ctx_wire: dict | None, attrs: dict | None = None):
+    """Worker-side telemetry scope for a pool task.
+
+    Opens a span parented to the wire context the coordinator shipped in
+    the task args, and captures every span the task finishes into the
+    yielded list (instead of the worker process's own collector, which
+    would be lost).  With no context — tracing off at the root, or a
+    call path that doesn't propagate — the scope is free and the list
+    stays empty.
+    """
+    parent = TraceContext.from_wire(ctx_wire) if ctx_wire else None
+    if parent is None:
+        yield []
+        return
+    with capture_spans() as spans:
+        with start_span(name, parent=parent, attrs=attrs):
+            yield spans
+
+
+def collect_task_telemetry(spans: list[dict] | None = None) -> dict:
+    """Drain this thread's kernel timings plus any captured spans into
+    the dict a worker task ships back with its payload."""
+    return {"kernel": collect_kernel_timings(), "spans": spans or []}
+
+
+def absorb_task_telemetry(total: dict[str, float], telemetry: dict | None) -> None:
+    """Coordinator-side: fold one task's shipped telemetry into the run.
+
+    Accepts either the rich :func:`collect_task_telemetry` form or a
+    plain stage-times dict (the value-dispatch workers).  Kernel stage
+    times merge into ``total`` and emit through the active probe —
+    exactly once per task, so batch→total merges must keep using
+    :func:`merge_kernel_timings` to avoid double counting.  Worker spans
+    are absorbed into the process-wide collector, parent links intact.
+    """
+    if not telemetry:
+        return
+    if "kernel" in telemetry or "spans" in telemetry:
+        times = telemetry.get("kernel")
+        spans = telemetry.get("spans")
+    else:
+        times, spans = telemetry, None
+    merge_kernel_timings(total, times)
+    record_kernel_timings(times)
+    if spans:
+        get_collector().absorb(spans)

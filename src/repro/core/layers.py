@@ -23,6 +23,7 @@ from ..errors import SynthesisError
 from ..evlog.multifile import LogSet
 from ..evlog.schema import LOG_DTYPE, LogRecordArray
 from ..distrib.taskpool import WorkerPool
+from ..obs import start_span
 from ..synthpop.places import PlaceKind, PlaceTable
 from .network import CollocationNetwork
 from .pipeline import synthesize_network
@@ -70,20 +71,26 @@ def synthesize_layers(
     """
     layers: dict[str, CollocationNetwork] = {}
     for kind in PlaceKind:
-        subset = layer_records(records, places, kind)
-        window = subset[(subset["start"] < t1) & (subset["stop"] > t0)]
-        if len(window) == 0:
-            from .adjacency import empty_adjacency
-
-            layers[kind.name.lower()] = CollocationNetwork(
-                empty_adjacency(n_persons), t0=t0, t1=t1
+        with start_span("layer", attrs={"kind": kind.name.lower()}):
+            layers[kind.name.lower()] = _layer_network(
+                records, places, kind, n_persons, t0, t1, pool, kernel, backend
             )
-            continue
-        net, _ = synthesize_network(
-            subset, n_persons, t0, t1, pool=pool, kernel=kernel, backend=backend
-        )
-        layers[kind.name.lower()] = net
     return layers
+
+
+def _layer_network(
+    records, places, kind, n_persons, t0, t1, pool, kernel, backend
+) -> CollocationNetwork:
+    subset = layer_records(records, places, kind)
+    window = subset[(subset["start"] < t1) & (subset["stop"] > t0)]
+    if len(window) == 0:
+        from .adjacency import empty_adjacency
+
+        return CollocationNetwork(empty_adjacency(n_persons), t0=t0, t1=t1)
+    net, _ = synthesize_network(
+        subset, n_persons, t0, t1, pool=pool, kernel=kernel, backend=backend
+    )
+    return net
 
 
 def layer_caches(
@@ -162,7 +169,8 @@ def synthesize_layers_from_logs(
         raise SynthesisError(
             "pass cache construction arguments or existing caches, not both"
         )
-    layers = {
-        name: cache.query_window(t0, t1) for name, cache in caches.items()
-    }
+    layers = {}
+    for name, cache in caches.items():
+        with start_span("layer", attrs={"kind": name, "cache": True}):
+            layers[name] = cache.query_window(t0, t1)
     return layers, caches

@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 import numpy as np
@@ -65,12 +66,16 @@ from .intervals import (
     select_pack_places,
     sum_pack_adjacency,
 )
+from ..obs import current_context, start_span
 from .kernels import (
     KERNEL_STAGES,
+    absorb_task_telemetry,
     check_backend,
     collect_kernel_timings,
+    collect_task_telemetry,
     merge_kernel_timings,
     resolve_backend,
+    task_span,
 )
 from .network import CollocationNetwork
 from .slicing import clip_records, records_by_place, slice_records
@@ -226,44 +231,61 @@ def _pack_adjacency_task(chunk: "tuple[list[IntervalPack], int, str]"):
     return out, collect_kernel_timings()
 
 
-def _descriptor_task(args: tuple[SliceDescriptor, str, str]):
+def _descriptor_task(args: "tuple[SliceDescriptor, str, str] | tuple[SliceDescriptor, str, str, dict | None]"):
     """Stage-2 worker under zero-copy dispatch: mmap + decode + build.
 
-    Receives only a byte-range descriptor; reads the slice itself, clips
-    it, and builds the kernel's per-file unit.  Returns ``(payload,
-    n_records, kernel_timings)`` where payload is an :class:`IntervalPack`
-    (or None for an empty slice) or a list of :class:`CollocationMatrix`.
+    Receives only a byte-range descriptor (plus, optionally, the
+    coordinator's wire trace context); reads the slice itself, clips it,
+    and builds the kernel's per-file unit.  Returns ``(payload,
+    n_records, telemetry)`` where payload is an :class:`IntervalPack`
+    (or None for an empty slice) or a list of :class:`CollocationMatrix`,
+    and telemetry carries the kernel stage times plus any spans finished
+    in this worker — re-parented to the coordinator's trace on absorb.
     """
-    descriptor, kernel, backend = args
-    if kernel == "intervals":
-        # columnar decode: mmap'd chunks land as clipped int64 columns
-        # with no intermediate struct-record copies
-        starts, stops, person, place = read_slice_columns(descriptor)
-        if not len(starts):
-            return None, 0, collect_kernel_timings()
-        pack = build_interval_pack_columns(
-            starts,
-            stops,
-            person,
-            place,
-            descriptor.t0,
-            descriptor.t1,
-            backend=backend,
-        )
-        return pack, len(starts), collect_kernel_timings()
-    raw = read_slice_descriptor(descriptor)
-    # descriptor materialization already applied the window mask; only the
-    # interval clip remains to match slice_records() output exactly.
-    sliced = (
-        clip_records(raw, descriptor.t0, descriptor.t1) if len(raw) else raw
-    )
-    if not len(sliced):
-        return [], len(raw), collect_kernel_timings()
-    return (
-        build_collocation_matrices(sliced, descriptor.t0, descriptor.t1),
-        len(raw),
-        collect_kernel_timings(),
-    )
+    descriptor, kernel, backend = args[:3]
+    trace = args[3] if len(args) > 3 else None
+    # the span must close before telemetry is collected, so the captured
+    # list already holds it when it ships back with the payload
+    with task_span(
+        "worker.build",
+        trace,
+        attrs={"file": Path(descriptor.path).name, "kernel": kernel},
+    ) as spans:
+        if kernel == "intervals":
+            # columnar decode: mmap'd chunks land as clipped int64 columns
+            # with no intermediate struct-record copies
+            starts, stops, person, place = read_slice_columns(descriptor)
+            n = len(starts)
+            payload = (
+                build_interval_pack_columns(
+                    starts,
+                    stops,
+                    person,
+                    place,
+                    descriptor.t0,
+                    descriptor.t1,
+                    backend=backend,
+                )
+                if n
+                else None
+            )
+        else:
+            raw = read_slice_descriptor(descriptor)
+            # descriptor materialization already applied the window mask;
+            # only the interval clip remains to match slice_records()
+            # output exactly.
+            sliced = (
+                clip_records(raw, descriptor.t0, descriptor.t1)
+                if len(raw)
+                else raw
+            )
+            n = len(raw)
+            payload = (
+                build_collocation_matrices(sliced, descriptor.t0, descriptor.t1)
+                if len(sliced)
+                else []
+            )
+    return payload, n, collect_task_telemetry(spans)
 
 
 def _place_slabs(sliced: LogRecordArray, n_chunks: int) -> list[LogRecordArray]:
@@ -548,6 +570,11 @@ def synthesize_network(
     )
     timings = report.timings
     retries_before = _pool_retries(pool)
+    span = start_span(
+        "synthesize_network",
+        attrs={"kernel": kernel, "backend": backend, "t0": t0, "t1": t1},
+    )
+    span.__enter__()
     try:
         with timings.time("slice"):
             sliced = slice_records(records, t0, t1)
@@ -562,7 +589,7 @@ def synthesize_network(
                 )
                 packs = [p for p, _t in built]
                 for _p, times in built:
-                    merge_kernel_timings(report.kernel_timings, times)
+                    absorb_task_telemetry(report.kernel_timings, times)
             report.n_places = sum(p.n_places for p in packs)
             report.colloc_nnz_total = sum(p.person_hours for p in packs)
             with timings.time("balance"):
@@ -596,13 +623,16 @@ def synthesize_network(
 
         partials = [a for a, _t in summed]
         for _a, times in summed:
-            merge_kernel_timings(report.kernel_timings, times)
+            absorb_task_telemetry(report.kernel_timings, times)
         with timings.time("reduce"):
             adjacency = accumulate_adjacency(partials, n_persons)
         report.n_retries = _pool_retries(pool) - retries_before
+        span.set_attr("n_records", report.n_records)
+        span.set_attr("n_places", report.n_places)
     finally:
         if own_pool:
             pool.close()
+        span.__exit__(*sys.exc_info())
     return CollocationNetwork(adjacency, t0=t0, t1=t1), report
 
 
@@ -666,6 +696,31 @@ def _synthesize_batch_descriptors(
     """
     timings = report.timings
     retries_before = _pool_retries(pool)
+    span = start_span("batch", attrs={"files": len(batch), "dispatch": "zero-copy"})
+    span.__enter__()
+    try:
+        return _batch_descriptors_traced(
+            batch, n_persons, t0, t1, pool, kernel, backend, strict, report,
+            span,
+        )
+    finally:
+        report.n_retries += _pool_retries(pool) - retries_before
+        span.__exit__(*sys.exc_info())
+
+
+def _batch_descriptors_traced(
+    batch: list[Path],
+    n_persons: int,
+    t0: int,
+    t1: int,
+    pool: WorkerPool,
+    kernel: str,
+    backend: str,
+    strict: bool,
+    report: SynthesisReport,
+    span,
+) -> CollocationNetwork | None:
+    timings = report.timings
     with timings.time("load"):
         descriptors: list[SliceDescriptor] = []
         for path in batch:
@@ -684,14 +739,18 @@ def _synthesize_batch_descriptors(
     if not descriptors:
         return None
     with timings.time("collocation_matrices"):
+        # ship the batch span's context into the workers: their build
+        # spans come back in the task telemetry and re-attach under it
+        ctx = current_context()
+        wire = ctx.to_wire() if ctx is not None else None
         results = pool.map(
-            _descriptor_task, [(d, kernel, backend) for d in descriptors]
+            _descriptor_task, [(d, kernel, backend, wire) for d in descriptors]
         )
     n_read = sum(n for _payload, n, _t in results)
     report.n_records += n_read
     report.n_sliced_records += n_read
-    for _payload, _n, times in results:
-        merge_kernel_timings(report.kernel_timings, times)
+    for _payload, _n, telemetry in results:
+        absorb_task_telemetry(report.kernel_timings, telemetry)
     if kernel == "intervals":
         with timings.time("merge"):
             packs = _merge_duplicate_packs([p for p, _n, _t in results])
@@ -718,10 +777,10 @@ def _synthesize_batch_descriptors(
         )
     partials = [a for a, _t in summed]
     for _a, times in summed:
-        merge_kernel_timings(report.kernel_timings, times)
+        absorb_task_telemetry(report.kernel_timings, times)
     with timings.time("reduce"):
         adjacency = accumulate_adjacency(partials, n_persons)
-    report.n_retries += _pool_retries(pool) - retries_before
+    span.set_attr("records", n_read)
     return CollocationNetwork(adjacency, t0=t0, t1=t1)
 
 
@@ -824,8 +883,11 @@ def synthesize_from_logs(
             backend=getattr(cache, "backend", backend),
             quarantined=list(cache.quarantined),
         )
-        with report.timings.time("cache_query"):
-            network = cache.query_window(t0, t1)
+        with start_span(
+            "synthesize", attrs={"kernel": "intervals", "cache": True}
+        ):
+            with report.timings.time("cache_query"):
+                network = cache.query_window(t0, t1)
         return network, report
     log_set = log_dir if isinstance(log_dir, LogSet) else LogSet(log_dir)
     own_pool = pool is None
@@ -873,6 +935,12 @@ def synthesize_from_logs(
         total_report.batches = batches_done
         total_report.resumed_batches = batches_done
 
+    run_span = start_span(
+        "synthesize",
+        attrs={"kernel": kernel, "dispatch": dispatch, "backend": backend,
+               "t0": t0, "t1": t1},
+    )
+    run_span.__enter__()
     try:
         for batch_index, batch in enumerate(log_set.batches(batch_size)):
             if batch_index < batches_done:
@@ -927,8 +995,9 @@ def synthesize_from_logs(
                 total_report.colloc_nnz_total += batch_report.colloc_nnz_total
                 _merge_balance(total_report, batch_report.balance)
                 total_report.n_retries += batch_report.n_retries
-                for name, secs in batch_report.timings.stages.items():
-                    total_report.timings.add(name, secs)
+                # merge (not add): the batch's stage clocks already
+                # emitted through the probe when they were recorded
+                total_report.timings.merge(batch_report.timings)
                 merge_kernel_timings(
                     total_report.kernel_timings, batch_report.kernel_timings
                 )
@@ -945,6 +1014,8 @@ def synthesize_from_logs(
     finally:
         if own_pool:
             pool.close()
+        run_span.set_attr("batches", total_report.batches)
+        run_span.__exit__(*sys.exc_info())
     if network is None:
         network = CollocationNetwork(
             accumulate_adjacency([], n_persons), t0=t0, t1=t1

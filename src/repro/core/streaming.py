@@ -27,6 +27,7 @@ from ..config import HOURS_PER_WEEK
 from ..errors import SynthesisError
 from ..evlog.multifile import LogSet
 from ..distrib.taskpool import WorkerPool
+from ..obs import start_span
 from .adjacency import accumulate_adjacency
 from .network import CollocationNetwork
 from .pipeline import synthesize_from_logs
@@ -158,24 +159,28 @@ class StreamingSynthesizer:
             raise SynthesisError("need at least one interval")
         logs = log_set if isinstance(log_set, LogSet) else LogSet(log_set)
         networks = []
-        for w in range(n_intervals):
-            t0 = w * self.interval_hours
-            t1 = t0 + self.interval_hours
-            if self.cache is not None:
-                net = self.cache.query_window(t0, t1)
-            else:
-                net, _ = synthesize_from_logs(
-                    logs,
-                    self.n_persons,
-                    t0,
-                    t1,
-                    batch_size=self.batch_size,
-                    pool=self.pool,
-                    kernel=self.kernel,
-                    dispatch=self.dispatch,
-                    backend=self.backend,
-                )
-            networks.append(net)
+        with start_span(
+            "stream", attrs={"intervals": n_intervals, "kernel": self.kernel}
+        ):
+            for w in range(n_intervals):
+                t0 = w * self.interval_hours
+                t1 = t0 + self.interval_hours
+                with start_span("interval", attrs={"t0": t0, "t1": t1}):
+                    if self.cache is not None:
+                        net = self.cache.query_window(t0, t1)
+                    else:
+                        net, _ = synthesize_from_logs(
+                            logs,
+                            self.n_persons,
+                            t0,
+                            t1,
+                            batch_size=self.batch_size,
+                            pool=self.pool,
+                            kernel=self.kernel,
+                            dispatch=self.dispatch,
+                            backend=self.backend,
+                        )
+                networks.append(net)
         return WeeklyNetworkSeries(
             networks=networks,
             interval_hours=self.interval_hours,

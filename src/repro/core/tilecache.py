@@ -91,6 +91,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .._util import StageTimings, Timer, atomic_write_bytes
+from ..obs import get_probe, start_span
 from ..errors import SynthesisError, TileCacheError
 from ..evlog.multifile import LogSet
 from ..evlog.reader import (
@@ -172,7 +173,9 @@ class TileCacheStats:
     tiles_quarantined: int = 0
     #: hours covered by record-level fringe synthesis (unaligned edges)
     fringe_hours: int = 0
-    timings: StageTimings = field(default_factory=StageTimings)
+    timings: StageTimings = field(
+        default_factory=lambda: StageTimings(scope="cache")
+    )
 
     def summary(self) -> str:
         lines = [
@@ -445,6 +448,7 @@ class TileCache:
             except OSError:
                 pass
             self.stats.invalidated += len(tiles)
+            get_probe().cache_event("invalidated", len(tiles))
             return
         for key_str, entry in tiles.items():
             level_str, _, idx_str = key_str.partition(":")
@@ -511,6 +515,7 @@ class TileCache:
                 pass
         self._write_manifest()
         self.stats.tiles_quarantined += 1
+        get_probe().cache_event("quarantined")
         self.quarantined_tiles.append(f"{path} ({reason})")
 
     def _load_disk(self, key: tuple[int, int]) -> sp.csr_matrix | None:
@@ -565,6 +570,7 @@ class TileCache:
                 _k, dropped = self._tiles.popitem(last=False)
                 self._cached_nnz -= _tile_cost(dropped)
                 self.stats.evictions += 1
+                get_probe().cache_event("evicted")
 
     # -- record access --------------------------------------------------------
 
@@ -609,9 +615,12 @@ class TileCache:
             if self.dispatch == "zero-copy"
             else _window_value_task
         )
-        with self.stats.timings.time("build"):
-            args = [self._window_args(w0, w1) for w0, w1 in windows]
-            return self.pool.map(task, args)
+        with start_span("kernel", attrs={"windows": len(windows)}) as span:
+            with self.stats.timings.time("build"):
+                args = [self._window_args(w0, w1) for w0, w1 in windows]
+                mats = self.pool.map(task, args)
+            span.set_attr("nnz", sum(int(m.nnz) for m in mats))
+            return mats
 
     # -- segment tree ---------------------------------------------------------
 
@@ -650,11 +659,13 @@ class TileCache:
         if mat is not None:
             self._tiles.move_to_end(key)
             self.stats.tile_hits += 1
+            get_probe().cache_event("tile_hit")
             return mat
         if key in self._disk:
             mat = self._load_disk(key)
             if mat is not None:
                 self.stats.disk_hits += 1
+                get_probe().cache_event("disk_hit")
                 self._persist(key, mat)
                 self._insert(key, mat)
                 return mat
@@ -662,12 +673,14 @@ class TileCache:
             w0 = idx * self.tile_hours
             (mat,) = self._build_windows([(w0, w0 + self.tile_hours)])
             self.stats.tiles_built += 1
+            get_probe().cache_event("built")
         else:
             left = self._get_tile(level - 1, 2 * idx)
             right = self._get_tile(level - 1, 2 * idx + 1)
             with self.stats.timings.time("merge"):
                 mat = _sum_parts([left, right], self.n_persons)
             self.stats.tiles_merged += 1
+            get_probe().cache_event("merged")
         self._persist(key, mat)
         self._insert(key, mat)
         return mat
@@ -683,6 +696,7 @@ class TileCache:
         mats = self._build_windows([(i * T, (i + 1) * T) for i in missing])
         for i, mat in zip(missing, mats):
             self.stats.tiles_built += 1
+            get_probe().cache_event("built")
             self._persist((0, i), mat)
             self._insert((0, i), mat)
 
@@ -755,6 +769,7 @@ class TileCache:
                 if cached is not None:
                     self._tiles.move_to_end(("F", *window))
                     self.stats.fringe_hits += 1
+                    get_probe().cache_event("fringe_hit")
                     fringe_parts[window] = cached
                 else:
                     to_build.append(window)
@@ -771,6 +786,7 @@ class TileCache:
                 else:
                     parts.append(fringe_parts[(entry[1], entry[2])])
             self.stats.queries += 1
+            get_probe().cache_event("query")
 
         # compose outside the lock: every part is an immutable matrix this
         # thread holds a reference to, so racing evictions cannot hurt it

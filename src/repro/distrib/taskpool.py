@@ -47,6 +47,7 @@ from typing import Any, Callable, Protocol, Sequence, TypeVar
 
 from .._util import stable_uniform
 from ..errors import PartitionError, TaskRetryError
+from ..obs import get_probe
 
 __all__ = [
     "RetryPolicy",
@@ -235,11 +236,16 @@ class _PoolBase:
         self.bytes_shipped = 0
 
     def _account_items(self, items: Sequence[Any]) -> None:
+        probe = get_probe()
+        probe.count("pool.map_calls")
+        probe.count("pool.tasks", len(items))
         if self.track_bytes:
-            self.bytes_shipped += sum(
+            shipped = sum(
                 len(pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
                 for item in items
             )
+            self.bytes_shipped += shipped
+            probe.pool_bytes(shipped)
 
     def _finish_with_retries(
         self,
@@ -250,8 +256,13 @@ class _PoolBase:
     ) -> list[Any]:
         assert self.retry is not None
         driver = _RetryDriver(self.retry, self.report)
-        results = driver.finish(fn, items, first_pass, run_one)
-        self.last_attempts = driver.attempts
+        try:
+            results = driver.finish(fn, items, first_pass, run_one)
+        finally:
+            self.last_attempts = driver.attempts
+            retries = sum(a - 1 for a in driver.attempts.values() if a > 1)
+            if retries:
+                get_probe().count("pool.retries", retries)
         return results
 
 

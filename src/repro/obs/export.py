@@ -1,0 +1,227 @@
+"""Exporters: JSONL span/metric streams and human-readable renderings.
+
+The JSONL forms are the durable artifacts (`repro serve --trace-log`,
+``--profile`` JSON profiles, metric snapshots); the render functions
+back the ``repro trace`` and ``repro metrics`` CLI commands.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+__all__ = [
+    "JsonlSpanSink",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "write_metrics_json",
+    "render_trace",
+    "render_traces",
+    "render_metrics",
+]
+
+
+class JsonlSpanSink:
+    """Collector sink appending one JSON object per finished span.
+
+    Thread-safe (spans finish on the event loop, executor threads, and
+    absorbed worker batches); line-buffered appends so a killed process
+    loses at most the span being written — the chaos soak's "no dropped
+    spans" bar is about completed requests, and their spans are flushed
+    by the time the response frame goes out.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "a", encoding="utf-8", buffering=1)
+
+    def __call__(self, span_dict: dict) -> None:
+        line = json.dumps(span_dict, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+def write_spans_jsonl(path: str | Path, spans: list[dict]) -> None:
+    """Write spans as one JSON object per line (the ``repro trace`` form)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with open(p, "w", encoding="utf-8") as fh:
+        for s in spans:
+            fh.write(json.dumps(s, separators=(",", ":"), default=str) + "\n")
+
+
+def read_spans_jsonl(path: str | Path) -> list[dict]:
+    """Load spans, skipping unparseable lines (a truncated tail from a
+    killed writer must not make the whole trace log unreadable)."""
+    out: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(d, dict) and d.get("trace_id"):
+                out.append(d)
+    return out
+
+
+def write_metrics_json(path: str | Path, snapshot: dict) -> None:
+    """Write a registry snapshot as stable, indented JSON."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+
+# --------------------------------------------------------------------------
+# rendering
+
+
+def _fmt_secs(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    if s >= 0.001:
+        return f"{s * 1e3:.1f}ms"
+    return f"{s * 1e6:.0f}us"
+
+
+def _fmt_attrs(attrs: dict | None) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for k in sorted(attrs):
+        v = attrs[k]
+        if isinstance(v, float):
+            v = f"{v:.4g}"
+        parts.append(f"{k}={v}")
+    return "  " + " ".join(parts)
+
+
+def render_trace(spans: list[dict], trace_id: str) -> str:
+    """Render one trace as an indented tree, children by start time.
+
+    Spans whose parent is missing (e.g. the client half of a service
+    trace when only the server log is available) render as extra roots
+    of the same tree rather than being dropped.
+    """
+    mine = [s for s in spans if s.get("trace_id") == trace_id]
+    if not mine:
+        return f"trace {trace_id}: no spans"
+    by_id = {s["span_id"]: s for s in mine}
+    children: dict[str | None, list[dict]] = {}
+    roots: list[dict] = []
+    for s in mine:
+        parent = s.get("parent_id")
+        if parent is None or parent not in by_id:
+            roots.append(s)
+        else:
+            children.setdefault(parent, []).append(s)
+    roots.sort(key=lambda s: s.get("start", 0.0))
+    total = sum(s.get("duration", 0.0) for s in roots)
+    lines = [f"trace {trace_id}  ({len(mine)} spans, {_fmt_secs(total)})"]
+
+    def walk(span: dict, prefix: str, is_last: bool) -> None:
+        branch = "`-" if is_last else "|-"
+        status = span.get("status", "ok")
+        flag = "" if status == "ok" else f" [{status}]"
+        lines.append(
+            f"{prefix}{branch} {span.get('name', '?')} "
+            f"{_fmt_secs(span.get('duration', 0.0))}{flag}"
+            f"{_fmt_attrs(span.get('attrs'))}"
+        )
+        kids = sorted(
+            children.get(span["span_id"], []), key=lambda s: s.get("start", 0.0)
+        )
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1)
+
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1)
+    return "\n".join(lines)
+
+
+def render_traces(
+    spans: list[dict], trace_id: str | None = None, last: int | None = None
+) -> str:
+    """Render one trace, or the ``last`` most recently started ones."""
+    if trace_id is not None:
+        return render_trace(spans, trace_id)
+    order: list[str] = []
+    first_start: dict[str, float] = {}
+    for s in spans:
+        tid = s.get("trace_id")
+        if tid not in first_start:
+            first_start[tid] = s.get("start", 0.0)
+            order.append(tid)
+    order.sort(key=lambda t: first_start[t])
+    if last is not None:
+        order = order[-last:]
+    return "\n\n".join(render_trace(spans, tid) for tid in order)
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Human-readable registry snapshot (the ``repro metrics`` view)."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            v = counters[name]
+            if isinstance(v, float):
+                v = f"{v:.6g}"
+            lines.append(f"  {name:<{width}}  {v}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            v = gauges[name]
+            if isinstance(v, float):
+                v = f"{v:.6g}"
+            lines.append(f"  {name:<{width}}  {v}")
+    hists = snapshot.get("histograms", {})
+    if hists:
+        lines.append("histograms:")
+        for name in sorted(hists):
+            h = hists[name]
+            count = h.get("count", 0)
+            if count == 0:
+                lines.append(f"  {name}  (empty)")
+                continue
+            mean = h.get("sum", 0.0) / count
+            lines.append(
+                f"  {name}  count={count} mean={_fmt_secs(mean)}"
+                f" min={_fmt_secs(h['min'])} max={_fmt_secs(h['max'])}"
+                f" p50={_fmt_secs(_bucket_quantile(h, 0.5))}"
+                f" p99={_fmt_secs(_bucket_quantile(h, 0.99))}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _bucket_quantile(h: dict, q: float) -> float:
+    total = h.get("count", 0)
+    if total <= 0:
+        return 0.0
+    rank = max(1, -(-int(q * total * 1_000_000) // 1_000_000))  # ceil without float drift
+    rank = max(1, min(total, rank))
+    seen = 0
+    bounds = h.get("bounds", [])
+    for i, c in enumerate(h.get("counts", [])):
+        seen += c
+        if seen >= rank:
+            return bounds[i] if i < len(bounds) else h.get("max", 0.0)
+    return h.get("max", 0.0)

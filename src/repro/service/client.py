@@ -36,6 +36,7 @@ from ..errors import (
     OverloadError,
     ServiceError,
 )
+from ..obs import start_span
 from .protocol import (
     DEFAULT_PORT,
     MAX_FRAME,
@@ -146,6 +147,11 @@ class QueryMethods:
         resp, _ = await self.request("stats")
         return resp
 
+    async def metrics(self) -> dict:
+        """The server's process-wide metrics registry snapshot."""
+        resp, _ = await self.request("metrics")
+        return resp
+
 
 class ServiceClient(QueryMethods):
     """One connection to a :class:`NetworkQueryService`.
@@ -191,6 +197,9 @@ class ServiceClient(QueryMethods):
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._next_id = 0
+        #: trace id echoed by the server for the most recent response —
+        #: the key to pull that request's span tree out of a trace log
+        self.last_trace_id: str | None = None
 
     async def connect(self) -> "ServiceClient":
         self._reader, self._writer = await asyncio.open_connection(
@@ -231,9 +240,20 @@ class ServiceClient(QueryMethods):
                 "tenant": self.tenant,
                 **params,
             }
-            write_frame(self._writer, header)
-            await self._writer.drain()
-            resp, blob = await read_frame(self._reader, self.max_frame)
+            # each attempt is its own span; the server parents its
+            # request span to the context shipped in header["trace"]
+            with start_span("client.request", attrs={"op": op}) as span:
+                ctx = span.context()
+                if ctx is not None:
+                    header["trace"] = ctx.to_wire()
+                write_frame(self._writer, header)
+                await self._writer.drain()
+                resp, blob = await read_frame(self._reader, self.max_frame)
+                tid = resp.get("trace_id")
+                if isinstance(tid, str) and tid:
+                    self.last_trace_id = tid
+                if not resp.get("ok"):
+                    span.set_status(f"error:{resp.get('code')}")
             if resp.get("ok"):
                 if resp.get("id") != header["id"]:
                     raise ServiceError(

@@ -27,7 +27,10 @@ verbatim in the response so clients can pipeline requests; ``tenant``
 ``deadline`` (a number: the client's remaining budget in *seconds*,
 relative so clock skew cannot bite) bounds the request server-side —
 work the server cannot finish in time is rejected, never silently
-queued.  Ops:
+queued.  An optional ``trace`` object (``{"trace_id", "span_id"}``,
+see :class:`repro.obs.TraceContext`) parents the server's request span
+to the caller's trace; the resolved trace id comes back as
+``trace_id`` in the response.  Ops:
 
 ========== ===========================================================
 ``ping``     liveness probe (echoes ``draining``)
@@ -38,6 +41,7 @@ queued.  Ops:
 ``ego``      ``person, t0, t1 [, radius]`` → induced ego subgraph (blob)
 ``degrees``  ``t0, t1 [, kind]`` → degree summary + histogram (JSON)
 ``stats``    server + cache counters (JSON)
+``metrics``  process metrics-registry snapshot (JSON)
 ``reload``   re-open caches against the current log bytes (admin)
 ``shutdown`` begin graceful drain (admin)
 ========== ===========================================================

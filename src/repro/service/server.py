@@ -41,7 +41,8 @@ Architecture
   leader's abandonment but still has budget simply recomposes.
 * **Load shedding.**  A :class:`~repro.service.resilience.LoadShedder`
   bounds admitted-but-unfinished work server-wide.  Control ops
-  (``ping``/``stats``/``live``/``ready``) are never shed; queries are
+  (``ping``/``stats``/``metrics``/``live``/``ready``) are never shed;
+  queries are
   shed with ``code="overload"`` + ``retry_after`` when depth reaches
   ``queue_limit`` or the oldest in-flight request exceeds
   ``shed_inflight_age``; background prefetch is shed first, at half the
@@ -61,14 +62,25 @@ Architecture
   current log bytes (new content digest).  In-flight queries keep a
   reference to the cache they started on and finish consistently; the
   retired cache is closed once its last query completes.
+* **Telemetry.**  Every non-control request runs inside a ``request``
+  span parented to the client's ``header["trace"]`` context, with
+  ``admission`` → ``coalesce`` → ``compose`` → ``kernel`` children (the
+  composition carries the leader's context into the executor thread),
+  and the trace id is echoed in every response.  Service counters are
+  mirrored into the process metrics registry (``service.*``) and the
+  ``metrics`` op returns a registry snapshot; ``trace_log`` streams
+  finished spans to JSONL for ``repro trace``.  See :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
+import sys
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -77,6 +89,16 @@ from ..analysis.degree import degree_distribution
 from ..analysis.ego import ego_network
 from ..core.layers import LAYER_KINDS, layer_caches
 from ..core.tilecache import TileCache
+from ..obs import (
+    JsonlSpanSink,
+    TraceContext,
+    current_context,
+    default_registry,
+    get_collector,
+    get_probe,
+    start_span,
+    use_context,
+)
 from ..errors import (
     AdmissionError,
     DeadlineError,
@@ -106,6 +128,8 @@ from .protocol import (
 )
 
 __all__ = ["ServiceConfig", "ServiceStats", "NetworkQueryService"]
+
+log = logging.getLogger("repro.service")
 
 #: handle key for the full (all place kinds) network cache
 _FULL = "full"
@@ -156,11 +180,21 @@ class ServiceConfig:
     #: load shedding: reject new work while the oldest in-flight request
     #: is older than this many seconds; None disables the age trigger
     shed_inflight_age: float | None = None
+    #: append every finished span (server-side and absorbed worker spans)
+    #: to this JSONL file for ``repro trace``; None disables
+    trace_log: str | Path | None = None
 
 
 @dataclass
 class ServiceStats:
-    """Event-loop-owned counters (mutated on the loop thread only)."""
+    """Service counters with an atomic snapshot.
+
+    Counters are mutated through :meth:`bump` under one lock, and
+    :meth:`snapshot` copies them under the same lock — a reader never
+    sees a half-updated set of counters even when executor threads or
+    a concurrent ``stats`` request race the event loop.  Direct
+    attribute reads remain valid for tests and single-field checks.
+    """
 
     connections: int = 0
     requests: int = 0
@@ -193,9 +227,28 @@ class ServiceStats:
     #: connections aborted because a response write stalled past
     #: write_timeout
     slow_writes: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def snapshot(self) -> dict:
-        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+    def bump(self, name: str, n: int = 1) -> None:
+        """Atomically add ``n`` to the named counter and mirror the
+        event into the metrics registry (``service.<name>``)."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+        get_probe().count(f"service.{name}", n)
+
+    def snapshot(self, **gauges) -> dict:
+        """One consistent copy of every counter, plus any instantaneous
+        gauges the caller supplies (e.g. ``uptime``, ``inflight``)."""
+        with self._lock:
+            out = {
+                k: getattr(self, k)
+                for k in self.__dataclass_fields__
+                if not k.startswith("_")
+            }
+        out.update(gauges)
+        return out
 
 
 class _CacheHandle:
@@ -247,6 +300,12 @@ class _Inflight:
         if self.no_deadline or not self.deadlines:
             return False
         return all(at <= now for at in self.deadlines)
+
+
+def _trace_id() -> str:
+    """The current request's trace id, for log correlation."""
+    ctx = current_context()
+    return ctx.trace_id if ctx is not None else "-"
 
 
 def _require_int(header: dict, name: str, minimum: int | None = None) -> int:
@@ -334,6 +393,7 @@ class NetworkQueryService:
         self._started = False
         self._prefetch_task: asyncio.Task | None = None
         self._prefetch_queue: asyncio.Queue | None = None
+        self._trace_sink: JsonlSpanSink | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -349,6 +409,9 @@ class NetworkQueryService:
         if self._started:
             raise ServiceError("service already started", code="internal")
         self._started = True
+        if self.config.trace_log is not None:
+            self._trace_sink = JsonlSpanSink(self.config.trace_log)
+            get_collector().add_sink(self._trace_sink)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_threads,
             thread_name_prefix="repro-service",
@@ -419,6 +482,10 @@ class NetworkQueryService:
             # after a timed-out drain an executor thread may be wedged in
             # a composition; joining it would hang stop() forever
             self._executor.shutdown(wait=clean, cancel_futures=not clean)
+        if self._trace_sink is not None:
+            get_collector().remove_sink(self._trace_sink)
+            self._trace_sink.close()
+            self._trace_sink = None
         self.health.to_stopped()
         self._stopped.set()
 
@@ -535,7 +602,7 @@ class NetworkQueryService:
             handle.retired = True
             self._retired.append(handle)
             self._maybe_close(handle)
-        self.stats.reloads += 1
+        self.stats.bump("reloads")
         return self._handles[_FULL].cache.digest
 
     # -- coalesced composition ------------------------------------------------
@@ -550,8 +617,12 @@ class NetworkQueryService:
         entry = _Inflight(loop.create_future())
         handle.inflight[wkey] = entry
         handle.refs += 1
-        self.stats.compositions += 1
+        self.stats.bump("compositions")
         t0, t1 = wkey
+        # the leader's coalesce-span context, carried into the executor
+        # thread so the composition (and the cache's kernel spans under
+        # it) nest in the leader's trace
+        ctx = current_context()
 
         def job():
             # executor-queue expiry: work every waiter has abandoned by
@@ -562,7 +633,13 @@ class NetworkQueryService:
                     "waiter's deadline expired before it was dequeued",
                     code="expired",
                 )
-            return handle.cache.query_window(t0, t1)
+            with use_context(ctx):
+                with start_span(
+                    "compose", attrs={"t0": t0, "t1": t1}
+                ) as span:
+                    net = handle.cache.query_window(t0, t1)
+                    span.set_attr("n_edges", net.n_edges)
+                    return net
 
         exec_fut = loop.run_in_executor(self._executor, job)
 
@@ -598,34 +675,44 @@ class NetworkQueryService:
             handle = await self._get_handle(key)
             wkey = (t0, t1)
             entry = handle.inflight.get(wkey)
-            if entry is None:
-                entry = self._start_composition(handle, wkey)
-            else:
-                self.stats.coalesced += 1
-            entry.register(dl)
-            handle.refs += 1
-            try:
+            with start_span(
+                "coalesce",
+                attrs={
+                    "cache": key,
+                    "t0": t0,
+                    "t1": t1,
+                    "role": "leader" if entry is None else "follower",
+                },
+            ):
+                if entry is None:
+                    entry = self._start_composition(handle, wkey)
+                else:
+                    self.stats.bump("coalesced")
+                entry.register(dl)
+                handle.refs += 1
                 try:
-                    net = await asyncio.wait_for(
-                        asyncio.shield(entry.fut), dl.remaining()
-                    )
-                except asyncio.TimeoutError:
-                    self.stats.deadline_timeouts += 1
-                    raise DeadlineError(
-                        f"deadline exceeded composing [{t0}, {t1})"
-                    ) from None
-                except DeadlineError:
-                    if dl.expired:
-                        raise
-                    # our registration raced the executor's abandonment
-                    # check; we still have budget, so compose again
-                    continue
-                self.admission.observe(t1 - t0, net.n_edges)
-                self._note_span(handle, t0, t1)
-                return net
-            finally:
-                handle.refs -= 1
-                self._maybe_close(handle)
+                    try:
+                        net = await asyncio.wait_for(
+                            asyncio.shield(entry.fut), dl.remaining()
+                        )
+                    except asyncio.TimeoutError:
+                        self.stats.bump("deadline_timeouts")
+                        raise DeadlineError(
+                            f"deadline exceeded composing [{t0}, {t1})"
+                        ) from None
+                    except DeadlineError:
+                        if dl.expired:
+                            raise
+                        # our registration raced the executor's
+                        # abandonment check; we still have budget, so
+                        # compose again
+                        continue
+                    self.admission.observe(t1 - t0, net.n_edges)
+                    self._note_span(handle, t0, t1)
+                    return net
+                finally:
+                    handle.refs -= 1
+                    self._maybe_close(handle)
 
     # -- prefetch -------------------------------------------------------------
 
@@ -644,6 +731,12 @@ class NetworkQueryService:
                 handle.prefetched.add(idx)
                 self._prefetch_queue.put_nowait((handle, idx))
 
+    def _warm_traced(self, handle: _CacheHandle, t0: int, t1: int) -> int:
+        """Executor body of one prefetch: a root ``prefetch`` span so the
+        cache's kernel spans don't show up as orphan roots."""
+        with start_span("prefetch", parent=None, attrs={"t0": t0, "t1": t1}):
+            return handle.cache.warm(t0, t1)
+
     async def _prefetch_worker(self) -> None:
         """Warm queued tiles in the background; never dies on an error."""
         assert self._prefetch_queue is not None
@@ -660,7 +753,7 @@ class NetworkQueryService:
                     try:
                         token = self.shedder.admit(PRIORITY_PREFETCH)
                     except OverloadError:
-                        self.stats.shed_prefetch += 1
+                        self.stats.bump("shed_prefetch")
                         handle.prefetched.discard(idx)
                         self._prefetch_queue.task_done()
                         continue
@@ -668,11 +761,12 @@ class NetworkQueryService:
                     try:
                         built = await loop.run_in_executor(
                             self._executor,
-                            handle.cache.warm,
+                            self._warm_traced,
+                            handle,
                             idx * T,
                             (idx + 1) * T,
                         )
-                        self.stats.prefetched_tiles += built
+                        self.stats.bump("prefetched_tiles", built)
                     finally:
                         self.shedder.release(token)
                         handle.refs -= 1
@@ -681,7 +775,7 @@ class NetworkQueryService:
                 self._prefetch_queue.task_done()
                 raise
             except Exception:
-                self.stats.errors += 1
+                self.stats.bump("errors")
             else:
                 self._prefetch_queue.task_done()
                 continue
@@ -692,7 +786,7 @@ class NetworkQueryService:
     async def _handle_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self.stats.connections += 1
+        self.stats.bump("connections")
         self._writers.add(writer)
         try:
             while True:
@@ -702,7 +796,7 @@ class NetworkQueryService:
                     )
                 except FrameError as exc:
                     # a broken frame loses stream phase: answer and close
-                    self.stats.malformed += 1
+                    self.stats.bump("malformed")
                     try:
                         write_frame(
                             writer,
@@ -730,14 +824,14 @@ class NetworkQueryService:
                     except asyncio.TimeoutError:
                         # stalled client socket: reset it rather than
                         # park this handler (and the drain) forever
-                        self.stats.slow_writes += 1
+                        self.stats.bump("slow_writes")
                         try:
                             writer.transport.abort()
                         except (AttributeError, RuntimeError):
                             pass
                         break
                     except (ConnectionError, OSError):
-                        self.stats.disconnects += 1
+                        self.stats.bump("disconnects")
                         break
                 finally:
                     self._inflight -= 1
@@ -754,7 +848,7 @@ class NetworkQueryService:
     #: ops that produce network answers — deadline-checked, sheddable
     _QUERY_OPS = frozenset({"window", "layer", "ego", "degrees"})
     #: control plane — never shed, answered even mid-drain
-    _CONTROL_OPS = frozenset({"ping", "stats", "live", "ready"})
+    _CONTROL_OPS = frozenset({"ping", "stats", "metrics", "live", "ready"})
 
     def _parse_deadline(self, header: dict) -> Deadline:
         """The request's effective deadline: the client budget capped by
@@ -772,9 +866,44 @@ class NetworkQueryService:
         return Deadline.after(budget)
 
     async def _dispatch(self, header: dict) -> tuple[dict, bytes]:
+        """Trace-aware dispatch shell around :meth:`_dispatch_guarded`.
+
+        A non-control request runs inside a ``request`` span parented to
+        the client's ``header["trace"]`` context (when it sent one), so
+        the whole server-side tree — admission, coalescing, the executor
+        composition, the cache's kernel work — hangs off the caller's
+        trace.  The trace id is echoed in every response (``trace_id``)
+        so clients can correlate without parsing span logs.
+        """
         rid = header.get("id")
         op = header.get("op")
-        self.stats.requests += 1
+        ctx = TraceContext.from_wire(header.get("trace"))
+        span = None
+        if op in self._OPS and op not in self._CONTROL_OPS:
+            span = start_span(
+                "request",
+                parent=ctx,
+                attrs={"op": op, "tenant": header.get("tenant", "anon")},
+            )
+            span.__enter__()
+        try:
+            resp, blob = await self._dispatch_guarded(rid, op, header)
+            if span is not None and not resp.get("ok", False):
+                span.set_status(f"error:{resp.get('code')}")
+        finally:
+            if span is not None:
+                span.__exit__(*sys.exc_info())
+        tid = span.trace_id if span is not None else None
+        if not tid and ctx is not None:
+            tid = ctx.trace_id
+        if tid:
+            resp.setdefault("trace_id", tid)
+        return resp, blob
+
+    async def _dispatch_guarded(
+        self, rid, op, header: dict
+    ) -> tuple[dict, bytes]:
+        self.stats.bump("requests")
         if self._draining and op not in self._CONTROL_OPS:
             return (
                 error_response(rid, "server is draining", "shutting-down"),
@@ -791,7 +920,11 @@ class NetworkQueryService:
             dl = self._parse_deadline(header)
             # dead-on-arrival work is rejected before it can queue
             if dl.expired:
-                self.stats.expired += 1
+                self.stats.bump("expired")
+                log.warning(
+                    "expired on arrival: op=%s id=%r trace=%s",
+                    op, rid, _trace_id(),
+                )
                 raise DeadlineError(
                     "deadline already expired on arrival", code="expired"
                 )
@@ -799,13 +932,17 @@ class NetworkQueryService:
                 try:
                     shed_token = self.shedder.admit(PRIORITY_QUERY)
                 except OverloadError:
-                    self.stats.shed += 1
+                    self.stats.bump("shed")
                     self.health.note_shed()
+                    log.warning(
+                        "shed under load: op=%s id=%r trace=%s",
+                        op, rid, _trace_id(),
+                    )
                     raise
             return await handler(self, rid, header, dl)
         except (AdmissionError, OverloadError) as exc:
             if isinstance(exc, AdmissionError):
-                self.stats.rejections += 1
+                self.stats.bump("rejections")
             return (
                 error_response(
                     rid, str(exc), exc.code, retry_after=exc.retry_after
@@ -818,7 +955,10 @@ class NetworkQueryService:
             # domain validation (bad window, unknown person, damaged logs)
             return error_response(rid, str(exc), "bad-request"), b""
         except Exception as exc:  # noqa: BLE001 - server must stay up
-            self.stats.errors += 1
+            self.stats.bump("errors")
+            log.exception(
+                "internal error: op=%s id=%r trace=%s", op, rid, _trace_id()
+            )
             return (
                 error_response(
                     rid, f"{type(exc).__name__}: {exc}", "internal"
@@ -848,7 +988,7 @@ class NetworkQueryService:
         try:
             return await asyncio.wait_for(asyncio.shield(fut), dl.remaining())
         except asyncio.TimeoutError:
-            self.stats.deadline_timeouts += 1
+            self.stats.bump("deadline_timeouts")
             fut.add_done_callback(
                 lambda f: f.exception()  # abandoned: mark retrieved
             )
@@ -864,8 +1004,10 @@ class NetworkQueryService:
         """
         t0, t1 = _window_params(header)
         tenant = self._tenant(header)
-        self.stats.queries += 1
-        cost = self.admission.admit(tenant, t1 - t0)
+        self.stats.bump("queries")
+        with start_span("admission", attrs={"tenant": tenant}) as span:
+            cost = self.admission.admit(tenant, t1 - t0)
+            span.set_attr("cost_nnz", cost)
         released = False
 
         def release() -> None:
@@ -1030,7 +1172,10 @@ class NetworkQueryService:
         return (
             ok_response(
                 rid,
-                stats=self.stats.snapshot(),
+                stats=self.stats.snapshot(
+                    uptime=round(self.health.uptime, 3),
+                    inflight=self._inflight,
+                ),
                 admission=self.admission.snapshot(),
                 shedder=self.shedder.snapshot(),
                 health={
@@ -1041,6 +1186,11 @@ class NetworkQueryService:
             ),
             b"",
         )
+
+    async def _op_metrics(self, rid, header, dl) -> tuple[dict, bytes]:
+        """Process-wide metrics registry snapshot (counters, gauges,
+        histograms) — the same registry ``repro metrics`` renders."""
+        return ok_response(rid, metrics=default_registry().snapshot()), b""
 
     async def _op_reload(self, rid, header, dl) -> tuple[dict, bytes]:
         digest = await self._reload()
@@ -1063,6 +1213,7 @@ class NetworkQueryService:
         "ego": _op_ego,
         "degrees": _op_degrees,
         "stats": _op_stats,
+        "metrics": _op_metrics,
         "reload": _op_reload,
         "shutdown": _op_shutdown,
     }

@@ -1,0 +1,231 @@
+"""Tracing unit tests: span parentage, wire-context validation, capture
+and absorption (the process-pool propagation primitives), the disable
+switch, and collector ring/sink behavior."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    SpanCollector,
+    TraceContext,
+    capture_spans,
+    configure,
+    current_context,
+    enabled,
+    get_collector,
+    start_span,
+    use_context,
+)
+
+pytestmark = pytest.mark.timeout(60)
+
+
+@pytest.fixture(autouse=True)
+def clean_collector():
+    """Each test starts from an empty process collector."""
+    get_collector().drain()
+    yield
+    get_collector().drain()
+
+
+class TestSpanParentage:
+    def test_nested_spans_share_trace_and_chain_parents(self):
+        with start_span("outer") as outer:
+            with start_span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+                assert current_context() == inner.context()
+            assert current_context() == outer.context()
+        assert current_context() is None
+
+    def test_parent_none_forces_new_root(self):
+        with start_span("outer") as outer:
+            with start_span("detached", parent=None) as det:
+                assert det.trace_id != outer.trace_id
+                assert det.parent_id is None
+
+    def test_explicit_parent_overrides_current(self):
+        remote = TraceContext("cafe" * 4, "beef" * 4)
+        with start_span("local"):
+            with start_span("child", parent=remote) as child:
+                assert child.trace_id == remote.trace_id
+                assert child.parent_id == remote.span_id
+
+    def test_exception_sets_error_status(self):
+        with capture_spans() as spans:
+            with pytest.raises(ValueError):
+                with start_span("boom"):
+                    raise ValueError("nope")
+        assert spans[0]["status"] == "error:ValueError"
+
+    def test_explicit_status_survives_exception(self):
+        with capture_spans() as spans:
+            with pytest.raises(RuntimeError):
+                with start_span("s") as span:
+                    span.set_status("error:deadline")
+                    raise RuntimeError
+        assert spans[0]["status"] == "error:deadline"
+
+    def test_end_is_idempotent(self):
+        with capture_spans() as spans:
+            span = start_span("once")
+            span.end()
+            span.end()
+        assert len(spans) == 1
+
+    def test_use_context_carries_trace_into_thread(self):
+        # the executor-thread propagation path: capture where scheduled,
+        # install in the worker body
+        with start_span("root") as root:
+            ctx = root.context()
+        out = {}
+
+        def body():
+            with capture_spans() as spans:
+                with use_context(ctx):
+                    with start_span("threaded"):
+                        pass
+            out["spans"] = spans
+
+        t = threading.Thread(target=body)
+        t.start()
+        t.join()
+        (span,) = out["spans"]
+        assert span["trace_id"] == root.trace_id
+        assert span["parent_id"] == root.span_id
+
+
+class TestWireContext:
+    def test_roundtrip(self):
+        ctx = TraceContext("t" * 16, "s" * 16)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "not a dict",
+            42,
+            [],
+            {},
+            {"trace_id": "t"},
+            {"span_id": "s"},
+            {"trace_id": 7, "span_id": "s"},
+            {"trace_id": "t", "span_id": 7},
+            {"trace_id": "", "span_id": "s"},
+            {"trace_id": "t", "span_id": ""},
+            {"trace_id": "x" * 65, "span_id": "s"},
+            {"trace_id": "t", "span_id": "x" * 65},
+        ],
+    )
+    def test_malformed_wire_context_is_rejected_not_fatal(self, bad):
+        assert TraceContext.from_wire(bad) is None
+
+
+class TestCaptureAndAbsorb:
+    def test_capture_diverts_from_collector(self):
+        with capture_spans() as spans:
+            with start_span("captured"):
+                pass
+        assert [s["name"] for s in spans] == ["captured"]
+        assert get_collector().spans() == []
+
+    def test_nested_capture_inner_wins(self):
+        with capture_spans() as outer:
+            with capture_spans() as inner:
+                with start_span("x"):
+                    pass
+            with start_span("y"):
+                pass
+        assert [s["name"] for s in inner] == ["x"]
+        assert [s["name"] for s in outer] == ["y"]
+
+    def test_absorb_preserves_ids_and_skips_junk(self):
+        # worker-side: spans finish under capture, ship back as dicts
+        with capture_spans() as spans:
+            with start_span("worker.build") as w:
+                trace_id, span_id, parent = w.trace_id, w.span_id, w.parent_id
+        collector = SpanCollector()
+        collector.absorb(spans + [None, "junk", {}, {"no_trace": 1}])
+        (got,) = collector.spans()
+        assert got["trace_id"] == trace_id
+        assert got["span_id"] == span_id
+        assert got["parent_id"] == parent
+
+    def test_absorb_none_is_noop(self):
+        collector = SpanCollector()
+        collector.absorb(None)
+        assert collector.spans() == []
+
+
+class TestDisableSwitch:
+    def test_disabled_spans_are_noop_and_children_stay_noop(self):
+        prev = configure(False)
+        try:
+            assert not enabled()
+            span = start_span("off")
+            assert span.trace_id == ""
+            assert span.context() is None  # children can't re-attach
+            with span:
+                with start_span("child") as child:
+                    assert child.trace_id == ""
+            assert get_collector().spans() == []
+        finally:
+            configure(prev)
+
+    def test_reenable_restores_recording(self):
+        prev = configure(False)
+        try:
+            configure(True)
+            with capture_spans() as spans:
+                with start_span("back"):
+                    pass
+            assert len(spans) == 1
+        finally:
+            configure(prev)
+
+
+class TestCollector:
+    def test_ring_drops_oldest_under_pressure(self):
+        collector = SpanCollector(max_spans=16)
+        for i in range(50):
+            collector.add({"trace_id": "t", "span_id": str(i), "name": "s"})
+        kept = collector.spans()
+        assert len(kept) <= 16
+        assert kept[-1]["span_id"] == "49"  # recent spans are favoured
+
+    def test_drain_empties(self):
+        collector = SpanCollector()
+        collector.add({"trace_id": "t", "span_id": "1"})
+        assert len(collector.drain()) == 1
+        assert collector.spans() == []
+
+    def test_spans_filters_by_trace_id(self):
+        collector = SpanCollector()
+        collector.add({"trace_id": "a", "span_id": "1"})
+        collector.add({"trace_id": "b", "span_id": "2"})
+        assert [s["span_id"] for s in collector.spans("b")] == ["2"]
+
+    def test_sinks_see_added_and_absorbed_spans(self):
+        collector = SpanCollector()
+        seen = []
+        collector.add_sink(seen.append)
+        collector.add({"trace_id": "t", "span_id": "1"})
+        collector.absorb([{"trace_id": "t", "span_id": "2"}])
+        assert [s["span_id"] for s in seen] == ["1", "2"]
+        collector.remove_sink(seen.append)
+        collector.add({"trace_id": "t", "span_id": "3"})
+        assert len(seen) == 2
+
+    def test_broken_sink_never_raises(self):
+        collector = SpanCollector()
+
+        def bad(_):
+            raise RuntimeError("sink died")
+
+        collector.add_sink(bad)
+        collector.add({"trace_id": "t", "span_id": "1"})  # must not raise
+        assert len(collector.spans()) == 1

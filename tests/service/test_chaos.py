@@ -16,8 +16,10 @@ Required outcome: ≥ 99% of queries complete (the rest may exhaust the
 replica set while both replicas are simultaneously unusable — with B
 dead the bar is total), every completed answer is bit-identical to a
 direct synthesis, the corrupted tile was quarantined, injected faults
-actually fired, and nothing hangs (pytest-timeout is the hang
-detector).
+actually fired, nothing hangs (pytest-timeout is the hang detector),
+and telemetry stays trustworthy: no span is dropped or duplicated —
+every completed attempt's trace is a whole tree with exactly one server
+request span.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ import pytest
 
 from repro.core import TileCache
 from repro.errors import ReplicaSetError
+from repro.obs import get_collector
 from repro.service import FailoverClient, ServiceClient
 
 from ._chaos import ChaosProxy, corrupt_tile, kill_service
@@ -57,6 +60,7 @@ class TestChaosSoak:
         corrupt_tile(store / "full")
 
         async def scenario():
+            get_collector().drain()  # span integrity is judged on this run
             a = make_service(
                 service_logs, small_pop,
                 prefetch_tiles=0,
@@ -119,8 +123,45 @@ class TestChaosSoak:
                         (store / "full").glob("*.quarantined")
                     )
                     assert quarantined
+                    return completed
 
-        asyncio.run(scenario())
+        completed = asyncio.run(scenario())
+
+        # -- span integrity under kill + truncation ---------------------
+        # both halves of every trace land in this process's collector
+        # (client and servers share it), so the soak can assert that
+        # chaos never dropped or duplicated spans.
+        spans = get_collector().drain()
+        span_ids = [s["span_id"] for s in spans]
+        assert len(span_ids) == len(set(span_ids)), "duplicated span ids"
+        by_trace: dict[str, list[dict]] = {}
+        for s in spans:
+            by_trace.setdefault(s["trace_id"], []).append(s)
+        # a trace whose client.request completed ok is a completed
+        # attempt: its tree must be whole — exactly one server request
+        # span, every parent link resolving inside the trace
+        ok_traces = [
+            tid for tid, ss in by_trace.items()
+            if any(
+                s["name"] == "client.request" and s["status"] == "ok"
+                for s in ss
+            )
+        ]
+        assert len(ok_traces) >= completed, (
+            f"{completed} queries completed but only {len(ok_traces)} "
+            "traces have an ok client span: spans were dropped"
+        )
+        for tid in ok_traces:
+            ss = by_trace[tid]
+            requests = [s for s in ss if s["name"] == "request"]
+            assert len(requests) == 1, (
+                f"trace {tid} has {len(requests)} server request spans"
+            )
+            ids = {s["span_id"] for s in ss}
+            for s in ss:
+                assert s["parent_id"] is None or s["parent_id"] in ids, (
+                    f"trace {tid}: span {s['name']} dangles"
+                )
 
     def test_blackhole_replica_is_timed_out_and_failed_over(
         self, service_logs, small_pop, direct_ref
