@@ -65,6 +65,7 @@ from .distrib import (
 from .evlog import CachedLogWriter, LogReader, LogSet
 from .core import (
     CollocationNetwork,
+    SynthesisPlan,
     SynthesisReport,
     TileCache,
     query_window,
@@ -132,6 +133,7 @@ __all__ = [
     "LogSet",
     # synthesis
     "CollocationNetwork",
+    "SynthesisPlan",
     "SynthesisReport",
     "TileCache",
     "query_window",

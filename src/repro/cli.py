@@ -139,10 +139,57 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0
 
 
+def _synthesize_sharded(args: argparse.Namespace, pop, t0: int, t1: int) -> int:
+    from .core.plan import SynthesisPlan
+    from .distrib.shardsynth import shard_synthesize
+
+    if args.kernel != "intervals":
+        print(
+            "error: --shards requires the intervals kernel "
+            f"(got --kernel {args.kernel})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint is not None or args.resume is not None:
+        print(
+            "error: --checkpoint/--resume are not supported with --shards",
+            file=sys.stderr,
+        )
+        return 2
+    plan = SynthesisPlan(
+        kernel="intervals",
+        dispatch="zero-copy",
+        backend=args.backend,
+        strict=args.strict,
+    )
+    net, report = shard_synthesize(
+        args.log_dir,
+        pop.n_persons,
+        t0,
+        t1,
+        n_shards=args.shards,
+        strategy=args.partition,
+        plan=plan,
+        coords=pop.places.coords(),
+    )
+    print(report.summary())
+    if report.quarantined:
+        print(
+            f"warning: {len(report.quarantined)} damaged log file(s) "
+            "quarantined (re-run with --strict to fail instead)"
+        )
+    path = net.save(args.out)
+    print(f"\nwrote {path}")
+    print(summarize(net).report())
+    return 0
+
+
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     pop = load_population(args.population)
     t0 = args.t0
     t1 = args.t1 if args.t1 is not None else t0 + HOURS_PER_WEEK
+    if args.shards > 1:
+        return _synthesize_sharded(args, pop, t0, t1)
     pool = None
     if args.pool != "serial" or args.retries > 1:
         retry = None
@@ -158,6 +205,17 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
         probe = CollectingProbe()
         profile_cm = push_probe(probe)
+    from .core.plan import SynthesisPlan
+
+    plan = SynthesisPlan(
+        kernel=args.kernel,
+        dispatch=args.dispatch,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        strict=args.strict,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     try:
         with profile_cm:
             net, report = synthesize_from_logs(
@@ -165,14 +223,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
                 pop.n_persons,
                 t0,
                 t1,
-                batch_size=args.batch_size,
                 pool=pool,
-                strict=args.strict,
-                checkpoint=args.checkpoint,
-                resume=args.resume,
-                kernel=args.kernel,
-                dispatch=args.dispatch,
-                backend=args.backend,
+                plan=plan,
             )
     finally:
         if pool is not None:
@@ -349,6 +401,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         shed_inflight_age=args.shed_age,
         trace_log=args.trace_log,
+        shards=args.shards,
+        shard_partition=args.shard_partition,
     )
     service = NetworkQueryService(
         args.log_dir, pop.n_persons, places=pop.places, config=config
@@ -592,6 +646,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", default=None, metavar="DIR",
         help="resume from a checkpoint directory (config must match)",
     )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="partition places across N forked shard processes, each "
+        "owning its own log slices and interval packs; the reduce stage "
+        "merges per-shard CSRs bit-identically to single-process "
+        "synthesis (default: 1, sharding off)",
+    )
+    p.add_argument(
+        "--partition", choices=["spatial", "refined", "round-robin"],
+        default="refined",
+        help="place→shard partition strategy for --shards: weighted "
+        "recursive coordinate bisection (spatial), bisection plus "
+        "greedy work rebalancing (refined, default), or round-robin",
+    )
     p.set_defaults(fn=_cmd_synthesize)
 
     p = sub.add_parser(
@@ -711,6 +779,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-log", default=None, metavar="FILE",
         help="append every finished request span to FILE as JSONL "
         "(render with `repro trace FILE`)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="serve from a place-sharded tile cache: partition places "
+        "across N shards, each with its own TileCache; answers are "
+        "reduced bit-identically to the single-cache mode (default: 1)",
+    )
+    p.add_argument(
+        "--shard-partition",
+        choices=["spatial", "refined", "round-robin"], default="refined",
+        help="place→shard partition strategy for --shards "
+        "(default: refined)",
     )
     p.set_defaults(fn=_cmd_serve)
 

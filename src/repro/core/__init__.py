@@ -40,6 +40,7 @@ from .pipeline import (
     checkpoint_digest,
     load_checkpoint_manifest,
 )
+from .plan import DEFAULT_PLAN, SynthesisPlan
 from .streaming import StreamingSynthesizer, WeeklyNetworkSeries
 from .tilecache import TileCache, TileCacheStats, query_window
 from .bsp_pipeline import (
@@ -72,6 +73,8 @@ __all__ = [
     "accumulate_adjacency",
     "triu_symmetrize",
     "CollocationNetwork",
+    "SynthesisPlan",
+    "DEFAULT_PLAN",
     "SynthesisReport",
     "synthesize_network",
     "synthesize_from_logs",

@@ -47,9 +47,17 @@ class BalanceReport:
 
     @property
     def imbalance(self) -> float:
-        """max/mean ratio; 1.0 is perfect."""
+        """max/mean ratio; 1.0 is perfect.
+
+        Defined as 1.0 whenever the ratio is meaningless: no buckets,
+        zero total load (every bucket got only empty places), or a
+        non-finite mean from NaN weights.  Ratio gates must never trip
+        on a degenerate partition.
+        """
         mean = self.mean_load
-        return self.max_load / mean if mean > 0 else 1.0
+        if not np.isfinite(mean) or mean <= 0:
+            return 1.0
+        return self.max_load / mean
 
 
 def lpt_partition(

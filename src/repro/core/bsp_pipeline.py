@@ -207,6 +207,7 @@ def synthesize_from_logs_bsp(
     kernel: str = "intervals",
     cache=None,
     backend: str | None = None,
+    plan=None,
 ) -> BspSynthesisResult:
     """Batched from-logs synthesis on the simulated MPI cluster.
 
@@ -222,6 +223,12 @@ def synthesize_from_logs_bsp(
     """
     from ..evlog.reader import LogReader
 
+    if plan is not None:
+        # the plan is authoritative for the synthesis knobs
+        kernel = plan.kernel
+        backend = plan.backend
+        batch_size = plan.batch_size
+        strict = plan.strict
     if cache is not None:
         if kernel != "intervals":
             raise SynthesisError(

@@ -158,6 +158,26 @@ def merge_collocations(mats: list[CollocationMatrix]) -> CollocationMatrix:
         for m in mats
     ):
         raise SynthesisError("cannot merge collocation matrices across places/windows")
+    # fast path: identical (already sorted) person rosters need no re-sort
+    # or row remap — the union pattern is a binarized matrix sum, which is
+    # canonical CSR and therefore bit-identical to the rebuild below
+    if all(
+        len(m.persons) == len(first.persons)
+        and np.array_equal(m.persons, first.persons)
+        for m in mats[1:]
+    ):
+        x = mats[0].matrix
+        for m in mats[1:]:
+            x = x + m.matrix
+        x = x.astype(np.uint32)
+        x.data[:] = 1
+        return CollocationMatrix(
+            place=first.place,
+            persons=first.persons,
+            matrix=x,
+            t0=first.t0,
+            t1=first.t1,
+        )
     persons = np.unique(np.concatenate([m.persons for m in mats]))
     rows, cols = [], []
     for m in mats:

@@ -105,6 +105,7 @@ def layer_caches(
     strict: bool = False,
     kinds: "tuple[str, ...] | list[str] | None" = None,
     backend: str | None = None,
+    plan=None,
 ) -> dict:
     """One :class:`~repro.core.tilecache.TileCache` per place kind.
 
@@ -120,6 +121,15 @@ def layer_caches(
     """
     from .tilecache import TileCache
 
+    if plan is not None:
+        # the plan is authoritative for cache sizing + synthesis knobs
+        tile_hours = plan.tile_hours
+        budget_nnz = plan.cache_budget_nnz
+        dispatch = plan.dispatch
+        strict = plan.strict
+        backend = plan.backend
+        if cache_dir is None:
+            cache_dir = plan.cache_dir
     if kinds is None:
         kinds = LAYER_KINDS
     unknown = [k for k in kinds if k not in LAYER_KINDS]

@@ -798,6 +798,7 @@ def synthesize_from_logs(
     dispatch: str = DEFAULT_DISPATCH,
     backend: str | None = None,
     cache=None,
+    plan=None,
 ) -> tuple[CollocationNetwork, SynthesisReport]:
     """Synthesize the network from a directory of per-rank EVL files.
 
@@ -848,7 +849,24 @@ def synthesize_from_logs(
         cache already quarantined damaged files.  The cache path is
         thread-safe: concurrent callers may share one cache (the
         network-query service does).
+    plan:
+        A :class:`~repro.core.plan.SynthesisPlan`.  When given, the plan
+        is authoritative for kernel, dispatch, backend, batch size, and
+        strictness (the individual keyword arguments are ignored for
+        those knobs); ``checkpoint``/``resume`` keep an explicit argument
+        over the plan's.  ``pool=None`` builds (and owns) the plan's
+        pool.
     """
+    if plan is not None:
+        kernel = plan.kernel
+        dispatch = plan.dispatch
+        backend = plan.backend
+        batch_size = plan.batch_size
+        strict = plan.strict
+        if checkpoint is None:
+            checkpoint = plan.checkpoint
+        if resume is None:
+            resume = plan.resume
     _check_kernel(kernel)
     _check_dispatch(dispatch)
     backend = resolve_backend(backend)
@@ -891,7 +909,8 @@ def synthesize_from_logs(
         return network, report
     log_set = log_dir if isinstance(log_dir, LogSet) else LogSet(log_dir)
     own_pool = pool is None
-    pool = pool or SerialPool()
+    if pool is None:
+        pool = plan.make_pool() if plan is not None else SerialPool()
     network: CollocationNetwork | None = None
     total_report = SynthesisReport(
         n_workers=pool.n_workers,

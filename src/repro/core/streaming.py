@@ -130,12 +130,19 @@ class StreamingSynthesizer:
         dispatch: str = "value",
         cache=None,
         backend: str | None = None,
+        plan=None,
     ) -> None:
         """``cache`` is an optional
         :class:`~repro.core.tilecache.TileCache` over the log directory:
         each interval becomes a cached tile query instead of a per-interval
         record re-read, and the cache is attached to the returned series so
         :meth:`WeeklyNetworkSeries.total` reduces tiles too."""
+        if plan is not None:
+            # the plan is authoritative for the synthesis knobs
+            kernel = plan.kernel
+            dispatch = plan.dispatch
+            backend = plan.backend
+            batch_size = plan.batch_size
         if interval_hours <= 0:
             raise SynthesisError("interval_hours must be positive")
         if cache is not None and cache.n_persons != n_persons:

@@ -51,6 +51,15 @@ from .partition import (
 from .migration import MIGRANT_DTYPE, pack_migrants, unpack_migrants
 from .dmodel import DistributedSimulation, DistributedRunResult
 from .ddisease import DistributedEpidemicSimulation, EpidemicRunResult
+from .shardsynth import (
+    STRATEGIES,
+    ShardPlan,
+    ShardSynthesisReport,
+    ShardedTileCache,
+    log_horizon,
+    plan_shards,
+    shard_synthesize,
+)
 
 __all__ = [
     "Communicator",
@@ -58,6 +67,13 @@ __all__ = [
     "SimCluster",
     "ProcessBspCluster",
     "ProcessCommunicator",
+    "STRATEGIES",
+    "ShardPlan",
+    "ShardSynthesisReport",
+    "ShardedTileCache",
+    "log_horizon",
+    "plan_shards",
+    "shard_synthesize",
     "WorkerPool",
     "SerialPool",
     "ThreadPool",

@@ -76,14 +76,23 @@ class PlacePartition:
         )
 
     def imbalance(self, weights: np.ndarray | None = None) -> float:
-        """max/mean load ratio (1.0 = perfectly balanced)."""
+        """max/mean load ratio (1.0 = perfectly balanced).
+
+        1.0 whenever the ratio is meaningless — no places, zero total
+        weight (ranks received only empty places), or NaN weights — so
+        callers gating on ``imbalance <= tol`` never divide by zero.
+        """
         loads = (
             self.rank_counts().astype(np.float64)
             if weights is None
             else self.rank_weights(weights)
         )
-        mean = loads.mean()
-        return float(loads.max() / mean) if mean > 0 else 1.0
+        if loads.size == 0:
+            return 1.0
+        mean = float(loads.mean())
+        if not np.isfinite(mean) or mean <= 0:
+            return 1.0
+        return float(loads.max()) / mean
 
 
 def random_partition(
@@ -146,8 +155,14 @@ def spatial_partition(
         sorted_idx = idx[order]
         cw = np.cumsum(w[sorted_idx])
         total = cw[-1]
-        target = total * (k1 / k)
-        cut = int(np.searchsorted(cw, target))
+        if total > 0:
+            target = total * (k1 / k)
+            cut = int(np.searchsorted(cw, target))
+        else:
+            # all-zero weight in this region (only empty places): bisect
+            # by count so each rank still gets an even place share instead
+            # of one rank inheriting the whole region
+            cut = (len(sorted_idx) * k1) // k
         # keep both sides non-empty when possible
         cut = max(1, min(cut, len(sorted_idx) - 1)) if len(sorted_idx) > 1 else 0
         stack.append((sorted_idx[:cut], lo, lo + k1))

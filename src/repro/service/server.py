@@ -183,6 +183,30 @@ class ServiceConfig:
     #: append every finished span (server-side and absorbed worker spans)
     #: to this JSONL file for ``repro trace``; None disables
     trace_log: str | Path | None = None
+    #: number of place shards per cache; 1 serves every cache from one
+    #: process-local :class:`TileCache`, >1 switches every handle to a
+    #: :class:`~repro.distrib.shardsynth.ShardedTileCache` (per-shard
+    #: place-masked caches + a reduce tier, bit-identical answers)
+    shards: int = 1
+    #: place-partition strategy for sharded caches
+    #: (see :data:`repro.distrib.shardsynth.STRATEGIES`)
+    shard_partition: str = "refined"
+
+    def synthesis_plan(self):
+        """The :class:`~repro.core.plan.SynthesisPlan` this config implies.
+
+        Cache directories are deliberately left out: the service keys
+        per-cache subdirectories itself.
+        """
+        from ..core.plan import SynthesisPlan
+
+        return SynthesisPlan(
+            dispatch=self.dispatch,
+            strict=self.strict,
+            backend=self.backend,
+            tile_hours=self.tile_hours,
+            cache_budget_nnz=self.cache_budget_nnz,
+        )
 
 
 @dataclass
@@ -394,6 +418,11 @@ class NetworkQueryService:
         self._prefetch_task: asyncio.Task | None = None
         self._prefetch_queue: asyncio.Queue | None = None
         self._trace_sink: JsonlSpanSink | None = None
+        #: one shard plan shared by every sharded cache handle, built
+        #: lazily in the executor and dropped on reload (log bytes may
+        #: have changed)
+        self._shard_plan = None
+        self._shard_plan_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -506,9 +535,60 @@ class NetworkQueryService:
 
     # -- cache handles --------------------------------------------------------
 
+    def _shard_plan_for(self):
+        """The service-wide shard plan, built at most once per log
+        generation (executor thread; reload drops it)."""
+        from ..distrib.shardsynth import log_horizon, plan_shards
+        from ..evlog.multifile import LogSet
+
+        with self._shard_plan_lock:
+            if self._shard_plan is None:
+                cfg = self.config
+                log_set = LogSet(self.log_dir)
+                horizon = log_horizon(log_set)
+                coords = (
+                    self.places.coords() if self.places is not None else None
+                )
+                n_places = (
+                    len(self.places.kind) if self.places is not None else None
+                )
+                self._shard_plan = plan_shards(
+                    log_set,
+                    cfg.shards,
+                    0,
+                    max(horizon, 1),
+                    strategy=cfg.shard_partition,
+                    coords=coords,
+                    n_places=n_places,
+                    strict=cfg.strict,
+                    backend=cfg.backend,
+                )
+            return self._shard_plan
+
     def _build_handle_sync(self, key: str) -> _CacheHandle:
         """Executor side of cache construction (reads every log byte)."""
         cfg = self.config
+        if cfg.shards > 1:
+            from ..distrib.shardsynth import ShardedTileCache
+            from ..synthpop.places import PlaceKind
+
+            place_mask = None
+            if key != _FULL:
+                assert self.places is not None
+                place_mask = self.places.kind == int(PlaceKind[key.upper()])
+            cache = ShardedTileCache(
+                self.log_dir,
+                self.n_persons,
+                self._shard_plan_for(),
+                cache_dir=(
+                    Path(cfg.cache_dir) / key
+                    if cfg.cache_dir is not None
+                    else None
+                ),
+                place_mask=place_mask,
+                plan=cfg.synthesis_plan(),
+            )
+            return _CacheHandle(cache, horizon=cache.horizon())
         if key == _FULL:
             cache = TileCache(
                 self.log_dir,
@@ -591,6 +671,9 @@ class NetworkQueryService:
         bytes; in-flight queries finish on the caches they started on."""
         keys = list(self._handles)
         old = [self._handles[k] for k in keys]
+        with self._shard_plan_lock:
+            # the new log bytes may put work in different places
+            self._shard_plan = None
         loop = asyncio.get_running_loop()
         fresh = {}
         for key in keys:

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.balance import balance_by_nnz, lpt_partition
+from repro.core.balance import BalanceReport, balance_by_nnz, lpt_partition
 from repro.errors import PartitionError
 
 
@@ -96,3 +96,35 @@ class TestBalanceByNnz:
         ms = build_collocation_matrices(sliced, 0, repro.HOURS_PER_WEEK)
         _, report = balance_by_nnz(ms, 8)
         assert report.imbalance < 1.05
+
+
+class TestImbalanceDegenerateCases:
+    """Satellite fix: imbalance is defined (1.0) for degenerate loads,
+    so ratio gates never divide by zero or trip on empty shards."""
+
+    def test_all_zero_loads(self):
+        report = BalanceReport(loads=np.zeros(4, dtype=np.int64), max_item=0)
+        assert report.imbalance == 1.0
+
+    def test_empty_loads(self):
+        report = BalanceReport(loads=np.array([], dtype=np.int64), max_item=0)
+        assert report.imbalance == 1.0
+        assert report.max_load == 0
+        assert report.mean_load == 0.0
+
+    def test_nan_loads(self):
+        report = BalanceReport(
+            loads=np.array([np.nan, np.nan]), max_item=0
+        )
+        assert report.imbalance == 1.0
+
+    def test_zero_weight_items_balance_cleanly(self):
+        shares, report = balance_by_nnz(list("abcd"), 3, nnz=[0, 0, 0, 0])
+        assert report.imbalance == 1.0
+        assert sum(len(s) for s in shares) == 4
+
+    def test_normal_ratio_unchanged(self):
+        report = BalanceReport(
+            loads=np.array([4, 2, 2], dtype=np.int64), max_item=4
+        )
+        assert report.imbalance == pytest.approx(1.5)

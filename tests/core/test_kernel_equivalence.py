@@ -186,6 +186,28 @@ class TestKernelBitIdentity:
             assert report.n_sliced_records == 0
 
 
+class TestShardIdentity:
+    """The place-sharded path joins the bit-identity matrix: for any
+    kernel/dispatch single-process reference, the sharded reduce of the
+    same logs yields the same CSR triple (adjacency is additive over
+    places; canonical CSRs sum canonically)."""
+
+    @pytest.mark.parametrize("kernel", ["dense-hours", "intervals"])
+    @pytest.mark.parametrize("dispatch", ["value", "zero-copy"])
+    def test_sharded_vs_single_process(self, tmp_path, kernel, dispatch):
+        from repro.distrib.shardsynth import shard_synthesize
+
+        logs = write_tricky_logs(tmp_path / "logs", seed=21)
+        single, _ = synthesize_from_logs(
+            logs, N_PERSONS, T0, T1, batch_size=2, kernel=kernel,
+            dispatch=dispatch,
+        )
+        sharded, _ = shard_synthesize(
+            logs, N_PERSONS, T0, T1, n_shards=3, strategy="refined"
+        )
+        assert csr_identical(single.adjacency, sharded.adjacency)
+
+
 class TestDispatchIdentity:
     """By-value and zero-copy dispatch are output-indistinguishable."""
 

@@ -171,3 +171,39 @@ class TestPartitionQualityOrdering:
             spatial_partition(coords, weights, 8), movement
         )
         assert spat < rand
+
+
+class TestDegenerateWeights:
+    """Satellite fix: zero/NaN/empty weights must neither crash the
+    partitioners nor poison the imbalance ratio."""
+
+    def test_imbalance_all_zero_weights(self):
+        part = round_robin_partition(12, 4)
+        assert part.imbalance(np.zeros(12)) == 1.0
+
+    def test_imbalance_empty_partition(self):
+        part = PlacePartition(np.array([], dtype=np.int32), 3)
+        assert part.imbalance() == 1.0
+
+    def test_imbalance_nan_weights(self):
+        part = round_robin_partition(6, 2)
+        assert part.imbalance(np.full(6, np.nan)) == 1.0
+
+    def test_spatial_zero_weights_still_splits_evenly(self):
+        """RCB with a zero-total region falls back to count bisection
+        instead of dumping everything into one rank."""
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(size=(40, 2))
+        part = spatial_partition(coords, np.zeros(40), 4)
+        counts = part.rank_counts()
+        assert counts.min() >= 1
+        assert counts.max() - counts.min() <= 1
+        assert part.imbalance(np.zeros(40)) == 1.0
+
+    def test_spatial_zero_weight_pocket(self):
+        """A zero-weight spatial pocket must not starve later cuts."""
+        coords = np.arange(20, dtype=np.float64).reshape(-1, 1)
+        weights = np.zeros(20)
+        weights[15:] = 100.0  # all mass in the last quarter
+        part = spatial_partition(coords, weights, 4)
+        assert part.rank_counts().min() >= 1

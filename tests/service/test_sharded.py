@@ -1,0 +1,147 @@
+"""Sharded-cache service mode: same wire answers, N caches underneath.
+
+With ``ServiceConfig(shards=N)`` the service builds a
+``ShardedTileCache`` per layer key instead of one ``TileCache``; every
+answer a client decodes off the wire must remain **bit-identical** to
+the single-cache mode (which is itself bit-identical to direct
+synthesis), including after a reload recomputes the shard plan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.analysis import degree_distribution, ego_network
+from repro.core.layers import layer_caches
+from repro.service import NetworkQueryService, ServiceClient, ServiceConfig
+
+from .conftest import assert_bit_identical
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def make_sharded(service_logs, small_pop, **overrides) -> NetworkQueryService:
+    config = ServiceConfig(
+        port=0, shards=3, shard_partition="refined", **overrides
+    )
+    return NetworkQueryService(
+        service_logs,
+        small_pop.n_persons,
+        places=small_pop.places,
+        config=config,
+    )
+
+
+class TestShardedService:
+    def test_window_ego_degrees_bit_identical(
+        self, service_logs, small_pop, direct_ref
+    ):
+        ref = direct_ref(24, 192)
+        person = 7
+
+        async def scenario():
+            svc = make_sharded(service_logs, small_pop)
+            async with svc:
+                async with ServiceClient(port=svc.port) as client:
+                    net = await client.query_window(24, 192)
+                    ego = await client.query_ego(person, 24, 192)
+                    deg = await client.degree_summary(24, 192)
+            return net, ego, deg
+
+        net, ego, deg = asyncio.run(scenario())
+        assert_bit_identical(net.adjacency, ref.adjacency)
+        ref_ego = ego_network(ref, person, radius=2)
+        assert ego.center == person
+        assert list(ego.persons) == list(ref_ego.persons)
+        assert_bit_identical(ego.matrix, ref_ego.matrix)
+        ref_dist = degree_distribution(ref.degrees())
+        assert deg["n_vertices"] == ref_dist.n_vertices
+        assert deg["mean_degree"] == pytest.approx(ref_dist.mean_degree)
+        assert deg["degrees"] == ref_dist.degrees.tolist()
+
+    def test_layers_served_from_masked_shards(
+        self, service_logs, small_pop, direct_ref
+    ):
+        """Per-kind place masks intersect each shard's mask; the reduced
+        layer answers still sum to the full network."""
+        ref = direct_ref(0, 168)
+        kinds = ["home", "school", "workplace", "other"]
+
+        async def scenario():
+            svc = make_sharded(service_logs, small_pop)
+            async with svc:
+                async with ServiceClient(port=svc.port) as client:
+                    return {
+                        kind: await client.query_layer(kind, 0, 168)
+                        for kind in kinds
+                    }
+
+        layers = asyncio.run(scenario())
+        total = sum(net.adjacency for net in layers.values())
+        assert (total != ref.adjacency).nnz == 0
+        caches = layer_caches(
+            service_logs, small_pop.places, small_pop.n_persons
+        )
+        try:
+            for kind, net in layers.items():
+                expected = caches[kind].query_window(0, 168)
+                assert_bit_identical(net.adjacency, expected.adjacency)
+        finally:
+            for cache in caches.values():
+                cache.close()
+
+    def test_sharded_matches_single_cache_mode(self, service_logs, small_pop):
+        """The strong form: both modes of the *service* agree bitwise on
+        an unaligned window."""
+
+        async def run_mode(shards):
+            config = ServiceConfig(port=0, shards=shards)
+            svc = NetworkQueryService(
+                service_logs,
+                small_pop.n_persons,
+                places=small_pop.places,
+                config=config,
+            )
+            async with svc:
+                async with ServiceClient(port=svc.port) as client:
+                    return await client.query_window(5, 107)
+
+        a = asyncio.run(run_mode(1))
+        b = asyncio.run(run_mode(4))
+        assert_bit_identical(a.adjacency, b.adjacency)
+
+    def test_reload_recomputes_shard_plan(
+        self, service_logs, small_pop, direct_ref
+    ):
+        ref = direct_ref(0, 168)
+
+        async def scenario():
+            svc = make_sharded(service_logs, small_pop)
+            async with svc:
+                async with ServiceClient(port=svc.port) as client:
+                    before = await client.query_window(0, 168)
+                    resp = await client.reload()
+                    assert resp["ok"]
+                    after = await client.query_window(0, 168)
+            return before, after
+
+        before, after = asyncio.run(scenario())
+        assert_bit_identical(before.adjacency, ref.adjacency)
+        assert_bit_identical(after.adjacency, ref.adjacency)
+
+    def test_stats_reflect_sharded_cache(self, service_logs, small_pop):
+        async def scenario():
+            svc = make_sharded(service_logs, small_pop)
+            async with svc:
+                async with ServiceClient(port=svc.port) as client:
+                    await client.query_window(0, 168)
+                    return await client.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["stats"]["queries"] >= 1
+        full = stats["caches"]["full"]
+        assert full["queries"] >= 1
+        assert full["cached_nnz"] >= 0
+        assert len(full["digest"]) == 64
